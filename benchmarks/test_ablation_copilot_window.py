@@ -1,0 +1,32 @@
+"""Ablation A1: effect of the Copilot estimation window size (Eq. 1)."""
+
+from conftest import print_series
+
+from repro.core.prediction import MixNetCopilot
+from repro.moe.gate import GateSimulator
+from repro.moe.models import MIXTRAL_8x7B
+
+
+def test_ablation_copilot_window(run_once):
+    def build():
+        gate = GateSimulator(MIXTRAL_8x7B, seed=9)
+        loads = [gate.expert_loads(step).copy() for step in range(0, 48, 3)]
+        accuracy = {}
+        for window in (2, 4, 8, 12):
+            copilot = MixNetCopilot(
+                num_layers=MIXTRAL_8x7B.num_moe_blocks,
+                num_experts=MIXTRAL_8x7B.num_experts,
+                window=window,
+            )
+            reports = copilot.evaluate(loads, ks=(2,), warmup=3)
+            accuracy[window] = reports["MixNet-Copilot"].accuracy(2)
+        return accuracy
+
+    accuracy = run_once(build)
+    rows = [(window, round(value, 3)) for window, value in sorted(accuracy.items())]
+    print_series("AblationCopilotWindow", [("window", "top2_accuracy")] + rows)
+
+    # Any reasonable window predicts the heavy experts far better than chance
+    # (random top-2 accuracy is 2/8 = 0.25).
+    for value in accuracy.values():
+        assert value > 0.4

@@ -1,0 +1,38 @@
+"""Ablation A3: topology-aware EP routing (circuits) vs forcing EPS for all EP."""
+
+from conftest import bench_cluster, print_series
+
+from repro.core.runtime import RuntimeOptions, TrainingSimulator
+from repro.fabric import MixNetFabric
+from repro.moe.models import QWEN_MOE_EP32
+
+
+def test_ablation_delegation(run_once):
+    def build():
+        cluster = bench_cluster(100.0)
+        fabric = MixNetFabric(cluster)
+        with_circuits = TrainingSimulator(
+            QWEN_MOE_EP32, cluster, fabric, options=RuntimeOptions(seed=0)
+        ).simulate_iteration()
+        # Disabling the optical degree forces every EP transfer onto the two
+        # EPS NICs — what MixNet's routing would do without delegation over
+        # the regional OCS.
+        eps_only_cluster = bench_cluster(100.0, ocs_nics=1)
+        eps_heavy = TrainingSimulator(
+            QWEN_MOE_EP32,
+            eps_only_cluster,
+            MixNetFabric(eps_only_cluster),
+            options=RuntimeOptions(seed=0),
+        ).simulate_iteration()
+        return with_circuits.iteration_time_s, eps_heavy.iteration_time_s
+
+    with_circuits, eps_heavy = run_once(build)
+    print_series(
+        "AblationDelegation",
+        [
+            ("routing", "iteration_s"),
+            ("Topology-aware EP over regional OCS (alpha=6)", round(with_circuits, 2)),
+            ("EP squeezed onto EPS uplinks (alpha=1)", round(eps_heavy, 2)),
+        ],
+    )
+    assert with_circuits < eps_heavy

@@ -1,0 +1,27 @@
+"""Figure 2: traffic volume distribution across parallelisms."""
+
+from conftest import print_series
+
+from repro.moe.models import TABLE1_MODELS
+from repro.moe.traffic import traffic_breakdown
+
+
+def test_fig02_traffic_volume(benchmark):
+    def build():
+        rows = []
+        for model in TABLE1_MODELS:
+            fractions = traffic_breakdown(model).fractions()
+            for parallelism in ("TP", "EP", "PP", "DP"):
+                rows.append((model.name, parallelism, round(fractions[parallelism] * 100, 1)))
+        return rows
+
+    rows = benchmark(build)
+    print_series("Fig2", [("model", "parallelism", "traffic_share_%")] + rows)
+
+    shares = {(model, par): value for model, par, value in rows}
+    # Mixtral 8x7B: TP dominates, EP second (paper: ~60 % / ~30 %).
+    assert shares[("Mixtral-8x7B", "TP")] > shares[("Mixtral-8x7B", "EP")]
+    assert shares[("Mixtral-8x7B", "EP")] > 15
+    # LLaMA-MoE and Qwen-MoE: EP dominates (> 80 %).
+    assert shares[("LLaMA-MoE", "EP")] > 80
+    assert shares[("Qwen-MoE", "EP")] > 80

@@ -1,0 +1,48 @@
+"""Figures 3 and 17: per-phase MoE block timeline for several micro-batch sizes."""
+
+from conftest import print_series
+
+from repro.cluster import H800
+from repro.moe.models import LLAMA_MOE, MIXTRAL_8x7B, QWEN_MOE
+from repro.moe.profile import ComputeProfiler, all_to_all_phase_time
+
+
+def timeline_rows(model, bandwidth_gbps=400.0):
+    profiler = ComputeProfiler(gpu=H800)
+    timeline = profiler.timeline(
+        model,
+        [8, 16, 24, 32],
+        all_to_all_time_fn=lambda m, mbs: all_to_all_phase_time(m, mbs, bandwidth_gbps),
+    )
+    rows = []
+    for mbs, phases in timeline.items():
+        for phase, duration in phases.items():
+            rows.append((model.name, mbs, phase, round(duration * 1e3, 2)))
+    return rows
+
+
+def test_fig03_mixtral_timeline(benchmark):
+    rows = benchmark(timeline_rows, MIXTRAL_8x7B)
+    print_series("Fig3", [("model", "mbs", "phase", "ms")] + rows)
+    phases8 = {phase: ms for model, mbs, phase, ms in rows if mbs == 8}
+    # Expert computation exceeds 100 ms and dwarfs the 25 ms OCS delay.
+    assert phases8["experts"] > 95.0
+    # All-to-all is a significant share of the forward pass (33-55 % in §3).
+    total = sum(phases8.values())
+    a2a = phases8["all_to_all_dispatch"] + phases8["all_to_all_combine"]
+    assert 0.1 < a2a / total < 0.7
+
+
+def test_fig17_llama_and_qwen_timelines(benchmark):
+    def build():
+        return timeline_rows(LLAMA_MOE) + timeline_rows(QWEN_MOE)
+
+    rows = benchmark(build)
+    print_series("Fig17", [("model", "mbs", "phase", "ms")] + rows)
+    for model_name in ("LLaMA-MoE", "Qwen-MoE"):
+        phases8 = {phase: ms for model, mbs, phase, ms in rows
+                   if model == model_name and mbs == 8}
+        total = sum(phases8.values())
+        a2a = phases8["all_to_all_dispatch"] + phases8["all_to_all_combine"]
+        # EP communication occupies an even larger share than in Mixtral (§A.1).
+        assert a2a / total > 0.3

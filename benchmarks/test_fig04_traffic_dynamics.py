@@ -1,0 +1,57 @@
+"""Figure 4: temporal and spatial dynamics of EP all-to-all traffic."""
+
+import numpy as np
+from conftest import print_series
+
+from repro.analysis.locality import sparsity_gini, top_pair_share
+from repro.moe.gate import expert_load_variability
+from repro.moe.models import MIXTRAL_8x7B
+from repro.moe.trace import generate_trace
+
+
+def test_fig04a_temporal_dynamics(benchmark):
+    def build():
+        trace = generate_trace(
+            MIXTRAL_8x7B, num_iterations=10000, sample_every=1000, layers=[0], seed=0
+        )
+        rows = []
+        for record in trace:
+            per_expert = record.per_expert_receive_bytes(MIXTRAL_8x7B.experts_per_ep_rank)
+            for expert, volume in enumerate(per_expert):
+                rows.append((record.iteration, f"Expert {expert}", round(volume / 1e6, 1)))
+        return rows, trace
+
+    (rows, trace) = benchmark(build)
+    print_series("Fig4a", [("iteration", "expert", "all2all_MB")] + rows)
+
+    loads = trace.expert_load_history(layer=0)
+    variability = expert_load_variability(loads)
+    # Volumes vary across iterations and the spread shrinks over training.
+    assert variability[-1] < variability[0]
+    volumes = np.array([v for _, _, v in rows]).reshape(len(trace), -1)
+    assert volumes.std(axis=1).max() > 0
+
+
+def test_fig04b_spatial_non_uniformity(benchmark):
+    def build():
+        trace = generate_trace(
+            MIXTRAL_8x7B, num_iterations=10000, sample_every=2500, layers=[0], seed=0
+        )
+        rows = []
+        for record in trace:
+            matrix = record.traffic_matrices[0]
+            rows.append(
+                (
+                    record.iteration,
+                    round(sparsity_gini(matrix), 3),
+                    round(top_pair_share(matrix, k=4), 3),
+                )
+            )
+        return rows
+
+    rows = benchmark(build)
+    print_series("Fig4b", [("iteration", "gini", "top4_pair_share")] + rows)
+    # The all-to-all matrix stays non-uniform at every sampled iteration.
+    for _, gini, top4 in rows:
+        assert gini > 0.2
+        assert top4 > 4 / 56  # heavier than uniform

@@ -1,0 +1,37 @@
+"""Figure 5: the 128-GPU traffic matrix shows strong regional locality."""
+
+from conftest import print_series
+
+from repro.analysis.locality import locality_fraction
+from repro.cluster import simulation_cluster
+from repro.moe.models import MIXTRAL_8x7B
+from repro.moe.parallelism import ParallelismPlan
+from repro.moe.traffic import gpu_traffic_matrix
+
+
+def test_fig05_locality(benchmark):
+    def build():
+        cluster = simulation_cluster(16)  # 128 GPUs as in the measurement study
+        plan = ParallelismPlan(MIXTRAL_8x7B, cluster)
+        matrix = gpu_traffic_matrix(plan, seed=0)
+        region_size = plan.ep * plan.tp
+        regions = [
+            list(range(start, start + region_size))
+            for start in range(0, plan.world_size, region_size)
+        ]
+        ep_only = gpu_traffic_matrix(
+            plan, seed=0, include={"TP": False, "PP": False, "DP": False}
+        )
+        return {
+            "all_traffic_locality": locality_fraction(matrix, regions),
+            "ep_traffic_locality": locality_fraction(ep_only, regions),
+            "num_regions": len(regions),
+            "gpus_per_region": region_size,
+        }
+
+    stats = benchmark(build)
+    print_series("Fig5", [(key, round(value, 4) if isinstance(value, float) else value)
+                          for key, value in stats.items()])
+    # EP all-to-all never leaves its region; overall traffic is strongly local.
+    assert stats["ep_traffic_locality"] == 1.0
+    assert stats["all_traffic_locality"] > 0.9

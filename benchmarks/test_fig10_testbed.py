@@ -1,0 +1,19 @@
+"""Figure 10: end-to-end training iteration time on the 32-GPU prototype."""
+
+from conftest import print_series
+
+from repro.testbed import run_all_prototype_experiments
+
+
+def test_fig10_testbed(run_once):
+    comparisons = run_once(run_all_prototype_experiments, 0)
+    rows = [
+        (c.model, "EPS", round(c.eps_iteration_s, 2)) for c in comparisons
+    ] + [
+        (c.model, "MixNet", round(c.mixnet_iteration_s, 2)) for c in comparisons
+    ]
+    print_series("Fig10", [("model", "fabric", "iteration_s")] + rows)
+    # MixNet (1 EPS NIC + 3 OCS NICs) performs comparably to the 4x100G EPS
+    # baseline for all three models.
+    for comparison in comparisons:
+        assert 0.75 < comparison.relative_difference < 1.3, comparison.model

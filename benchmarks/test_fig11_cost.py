@@ -1,0 +1,32 @@
+"""Figure 11: networking cost vs cluster size at 100/200/400/800 Gbps."""
+
+from conftest import print_series
+
+from repro.cost import FABRIC_NAMES, FIGURE11_CLUSTER_SIZES, NetworkingCostModel
+
+
+def test_fig11_networking_cost(benchmark):
+    def build():
+        model = NetworkingCostModel()
+        rows = []
+        for bandwidth in (100, 200, 400, 800):
+            for fabric in FABRIC_NAMES:
+                for size in FIGURE11_CLUSTER_SIZES:
+                    cost = model.cost(fabric, size, bandwidth)
+                    rows.append((f"{bandwidth}G", fabric, size, round(cost.total_millions, 2)))
+        return rows
+
+    rows = benchmark(build)
+    print_series("Fig11", [("bandwidth", "fabric", "gpus", "cost_M$")] + rows)
+
+    costs = {(bw, fabric, size): value for bw, fabric, size, value in rows}
+    for bandwidth in ("100G", "200G", "400G", "800G"):
+        for size in FIGURE11_CLUSTER_SIZES:
+            # MixNet cheaper than Fat-tree and Rail-optimized at every point.
+            assert costs[(bandwidth, "MixNet", size)] < costs[(bandwidth, "Fat-tree", size)]
+            assert costs[(bandwidth, "MixNet", size)] < costs[(bandwidth, "Rail-optimized", size)]
+    # The advantage grows with link bandwidth (§7.2).
+    ratio_100 = costs[("100G", "Fat-tree", 8192)] / costs[("100G", "MixNet", 8192)]
+    ratio_400 = costs[("400G", "Fat-tree", 8192)] / costs[("400G", "MixNet", 8192)]
+    assert ratio_400 > ratio_100 > 1.0
+    assert ratio_400 > 1.9

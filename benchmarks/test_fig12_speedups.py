@@ -1,0 +1,49 @@
+"""Figure 12: normalized training iteration time of four MoE models on five fabrics."""
+
+import pytest
+from conftest import BENCH_SERVERS, all_fabrics, bench_cluster, print_series
+
+from repro.core.runtime import normalized_iteration_times, simulate_fabrics
+from repro.moe.models import DEEPSEEK_R1, MIXTRAL_8x7B, MIXTRAL_8x22B, QWEN_MOE_EP32
+from repro.moe.parallelism import minimal_world_size
+
+#: (figure panel, model, bandwidths swept).  The benchmark sweeps the low and
+#: high ends of the paper's 100-800 Gbps range to keep runtime manageable.
+PANELS = [
+    ("Fig12a", MIXTRAL_8x22B),
+    ("Fig12b", MIXTRAL_8x7B),
+    ("Fig12c", QWEN_MOE_EP32),
+    ("Fig12d", DEEPSEEK_R1),
+]
+BANDWIDTHS = (100.0, 400.0)
+
+
+def run_panel(model):
+    rows = []
+    normalized_by_bandwidth = {}
+    # Each model needs at least its minimal TP x PP x EP world size.
+    servers = max(BENCH_SERVERS, minimal_world_size(model) // 8)
+    for bandwidth in BANDWIDTHS:
+        cluster = bench_cluster(bandwidth, servers=servers)
+        results = simulate_fabrics(model, list(all_fabrics(cluster).values()))
+        normalized = normalized_iteration_times(results, reference="Fat-tree")
+        normalized_by_bandwidth[bandwidth] = normalized
+        for fabric, value in normalized.items():
+            rows.append((int(bandwidth), fabric, round(value, 3)))
+    return rows, normalized_by_bandwidth
+
+
+@pytest.mark.parametrize("panel,model", PANELS, ids=[p for p, _ in PANELS])
+def test_fig12_speedups(run_once, panel, model):
+    rows, normalized = run_once(run_panel, model)
+    print_series(panel, [("bandwidth_gbps", "fabric", "normalized_iter_time")] + rows)
+
+    for bandwidth, values in normalized.items():
+        # MixNet performs comparably to the non-blocking Fat-tree and
+        # Rail-optimized fabrics...
+        assert values["MixNet"] < 1.6
+        # ...and beats the over-subscribed Fat-tree and TopoOpt baselines.
+        assert values["MixNet"] < values["TopoOpt"]
+        assert values["MixNet"] <= values["OverSub. Fat-tree"] + 0.05
+    # The gap to the static optical baseline shrinks as bandwidth grows.
+    assert normalized[400.0]["TopoOpt"] <= normalized[100.0]["TopoOpt"] + 1e-6

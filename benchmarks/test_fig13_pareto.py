@@ -1,0 +1,63 @@
+"""Figure 13: performance-cost Pareto front and cost-efficiency gains (§7.4)."""
+
+from conftest import all_fabrics, bench_cluster, print_series
+
+from repro.analysis import DesignPoint, cost_efficiency_gain, pareto_front
+from repro.analysis.metrics import relative_points
+from repro.core.runtime import simulate_fabrics
+from repro.cost import NetworkingCostModel
+from repro.moe.models import MIXTRAL_8x7B
+
+
+def build_points(bandwidth):
+    cluster = bench_cluster(bandwidth)
+    results = simulate_fabrics(MIXTRAL_8x7B, list(all_fabrics(cluster).values()))
+    cost_model = NetworkingCostModel()
+    return {
+        name: DesignPoint(
+            fabric=name,
+            iteration_time_s=result.iteration_time_s,
+            cost_usd=cost_model.cost(name, cluster.num_gpus, int(bandwidth)).total,
+        )
+        for name, result in results.items()
+    }
+
+
+def test_fig13_pareto(run_once):
+    def build():
+        output = {}
+        for bandwidth in (100.0, 400.0):
+            output[bandwidth] = build_points(bandwidth)
+        return output
+
+    points_by_bandwidth = run_once(build)
+    rows = []
+    for bandwidth, points in points_by_bandwidth.items():
+        for entry in relative_points(list(points.values())):
+            rows.append(
+                (
+                    int(bandwidth),
+                    entry["fabric"],
+                    round(entry["relative_cost"], 3),
+                    round(entry["relative_performance"], 3),
+                )
+            )
+    print_series("Fig13", [("bandwidth", "fabric", "rel_cost", "rel_perf")] + rows)
+
+    for bandwidth, points in points_by_bandwidth.items():
+        front = {p.fabric for p in pareto_front(list(points.values()))}
+        assert "MixNet" in front, f"MixNet off the Pareto front at {bandwidth} Gbps"
+        gain_ft = cost_efficiency_gain(points, "MixNet", "Fat-tree")
+        gain_rail = cost_efficiency_gain(points, "MixNet", "Rail-optimized")
+        assert gain_ft > 1.0
+        assert gain_rail > 1.0
+        print_series(
+            "Fig13-gains",
+            [(int(bandwidth), "vs Fat-tree", round(gain_ft, 2)),
+             (int(bandwidth), "vs Rail-optimized", round(gain_rail, 2))],
+        )
+    # Cost-efficiency advantage grows with bandwidth (1.2-1.5x at 100G,
+    # ~2x+ at 400G in the paper).
+    gain_100 = cost_efficiency_gain(points_by_bandwidth[100.0], "MixNet", "Fat-tree")
+    gain_400 = cost_efficiency_gain(points_by_bandwidth[400.0], "MixNet", "Fat-tree")
+    assert gain_400 > gain_100

@@ -1,0 +1,51 @@
+"""Figure 14: failure resiliency of MixNet under NIC and GPU failures."""
+
+from conftest import bench_cluster, print_series
+
+from repro.core.failures import FailureScenario
+from repro.core.runtime import TrainingSimulator
+from repro.fabric import MixNetFabric
+from repro.moe.models import MIXTRAL_8x7B, MIXTRAL_8x22B
+
+SCENARIOS = [
+    ("No Failure", None),
+    ("One NIC Failure", FailureScenario.nic_failures(1)),
+    ("Two NIC Failures", FailureScenario.nic_failures(2)),
+    ("One GPU Failure", FailureScenario.gpu_failure()),
+    ("One Server (8 GPUs) Failure", FailureScenario.server_failure()),
+]
+
+
+def run_model(model):
+    cluster = bench_cluster(400.0, servers=64 if model is MIXTRAL_8x22B else 32)
+    simulator = TrainingSimulator(model, cluster, MixNetFabric(cluster))
+    results = {}
+    for name, scenario in SCENARIOS:
+        results[name] = simulator.simulate_iteration(failure=scenario).iteration_time_s
+    return results
+
+
+def test_fig14_failures(run_once):
+    def build():
+        return {model.name: run_model(model) for model in (MIXTRAL_8x22B, MIXTRAL_8x7B)}
+
+    all_results = run_once(build)
+    rows = []
+    for model_name, results in all_results.items():
+        baseline = results["No Failure"]
+        for scenario, value in results.items():
+            rows.append(
+                (model_name, scenario, round(value / baseline, 4),
+                 f"+{(value / baseline - 1) * 100:.1f}%")
+            )
+    print_series("Fig14", [("model", "scenario", "normalized_iter_time", "overhead")] + rows)
+
+    for model_name, results in all_results.items():
+        baseline = results["No Failure"]
+        # NIC failures cost only a few percent; GPU/server failures cost more
+        # but stay within acceptable bounds (§7.5 reports <= ~13 %).
+        assert results["One NIC Failure"] / baseline < 1.10
+        assert results["Two NIC Failures"] / baseline < 1.20
+        assert results["One GPU Failure"] >= baseline
+        assert results["One Server (8 GPUs) Failure"] >= results["One GPU Failure"]
+        assert results["One Server (8 GPUs) Failure"] / baseline < 1.5

@@ -1,0 +1,26 @@
+"""Figure 16: NVL72 versus MixNet with co-packaged optical I/O (§8)."""
+
+from conftest import print_series
+
+from repro.fabric.nvl72 import ScaleUpComparison
+
+
+def test_fig16_nvl72(benchmark):
+    def build():
+        comparison = ScaleUpComparison()
+        return {budget: comparison.compare(budget) for budget in (8.0, 16.0)}
+
+    results = benchmark(build)
+    rows = []
+    for budget, values in results.items():
+        rows.append((f"{budget:.0f} Tbps", "NVL72", 1.0))
+        rows.append(
+            (f"{budget:.0f} Tbps", "MixNet (w/ optical I/O)",
+             round(values["MixNet (w/ optical I/O)"], 3))
+        )
+    print_series("Fig16", [("gpu_io_budget", "design", "normalized_iter_time")] + rows)
+
+    # MixNet with optical I/O lowers iteration time by roughly 1.3x at 8 Tbps
+    # and keeps a benefit at 16 Tbps.
+    assert 1.15 < results[8.0]["speedup"] < 1.8
+    assert results[16.0]["speedup"] > 1.0

@@ -1,0 +1,29 @@
+"""Figure 18: non-uniform token distribution across MoE blocks of a trained model."""
+
+import numpy as np
+from conftest import print_series
+
+from repro.analysis.locality import per_block_token_share
+from repro.moe.gate import GateSimulator
+from repro.moe.models import MIXTRAL_8x7B
+
+
+def test_fig18_token_distribution(benchmark):
+    def build():
+        gate = GateSimulator(MIXTRAL_8x7B, seed=4)
+        # A "largely converged" model late in training (§A.2).
+        loads = gate.expert_loads(9000)
+        return loads
+
+    loads = benchmark(build)
+    rows = []
+    for layer in range(0, MIXTRAL_8x7B.num_moe_blocks, 4):
+        for expert in range(MIXTRAL_8x7B.num_experts):
+            rows.append((layer, expert, round(float(loads[layer, expert]), 4)))
+    print_series("Fig18", [("moe_block", "expert", "token_share")] + rows)
+
+    shares = per_block_token_share(loads)
+    uniform = 1.0 / MIXTRAL_8x7B.num_experts
+    # Dispatch stays non-uniform even late in training and differs per block.
+    assert max(shares) > 1.2 * uniform
+    assert np.std(np.argmax(loads, axis=1)) > 0 or len(set(np.argmax(loads, axis=1))) > 1

@@ -1,0 +1,35 @@
+"""Figure 19: prediction accuracy of MixNet-Copilot vs Random / Unmodified."""
+
+from conftest import print_series
+
+from repro.core.prediction import MixNetCopilot
+from repro.moe.gate import GateSimulator
+from repro.moe.models import MIXTRAL_8x7B
+
+
+def test_fig19_copilot_accuracy(run_once):
+    def build():
+        gate = GateSimulator(MIXTRAL_8x7B, seed=2)
+        loads = [gate.expert_loads(step).copy() for step in range(0, 60, 3)]
+        copilot = MixNetCopilot(
+            num_layers=MIXTRAL_8x7B.num_moe_blocks,
+            num_experts=MIXTRAL_8x7B.num_experts,
+            window=8,
+        )
+        return copilot.evaluate(loads, ks=(1, 2, 3, 4), warmup=3)
+
+    reports = run_once(build)
+    rows = [
+        (strategy, k, round(report.accuracy(k), 3))
+        for strategy, report in reports.items()
+        for k in (1, 2, 3, 4)
+    ]
+    print_series("Fig19", [("strategy", "top_k", "accuracy")] + rows)
+
+    for k in (1, 2, 3, 4):
+        copilot_acc = reports["MixNet-Copilot"].accuracy(k)
+        # Copilot finds the activation-intensive experts far better than a
+        # random topology and at least as well as reusing the previous layer.
+        assert copilot_acc > reports["Random"].accuracy(k)
+        assert copilot_acc >= reports["Unmodified"].accuracy(k) - 0.05
+    assert reports["MixNet-Copilot"].accuracy(4) > 0.6

@@ -1,0 +1,33 @@
+"""Figure 21: OCS reconfiguration delay CDF for 1 / 4 / 16 switched pairs."""
+
+import numpy as np
+from conftest import print_series
+
+from repro.testbed import ReconfigurationDelayModel, percentile
+
+
+def test_fig21_reconfig_delay(benchmark):
+    def build():
+        model = ReconfigurationDelayModel()
+        rng = np.random.default_rng(0)
+        return {pairs: model.sample(pairs, 5000, rng=rng) for pairs in (1, 4, 16)}
+
+    samples = benchmark(build)
+    rows = []
+    for pairs, values in samples.items():
+        rows.append(
+            (
+                f"{pairs} pairs",
+                round(float(np.mean(values)) * 1e3, 2),
+                round(percentile(values, 50) * 1e3, 2),
+                round(percentile(values, 99) * 1e3, 2),
+            )
+        )
+    print_series("Fig21", [("batch", "mean_ms", "p50_ms", "p99_ms")] + rows)
+
+    means = {pairs: float(np.mean(values)) for pairs, values in samples.items()}
+    # Means around 41-47 ms, increasing with batch size; 99 % under 70 ms.
+    assert 0.038 < means[1] < 0.045
+    assert means[1] < means[4] < means[16]
+    for values in samples.values():
+        assert percentile(values, 99) < 0.075

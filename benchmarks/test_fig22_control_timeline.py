@@ -1,0 +1,24 @@
+"""Figure 22: end-to-end timeline of one OCS control operation."""
+
+from conftest import print_series
+
+from repro.testbed import control_timeline, timeline_total
+
+
+def test_fig22_control_timeline(benchmark):
+    stages = benchmark(control_timeline)
+    elapsed = 0.0
+    rows = []
+    for stage in stages:
+        rows.append((stage.name, round(elapsed * 1e3, 1), round((elapsed + stage.duration_s) * 1e3, 1)))
+        elapsed += stage.duration_s
+    print_series("Fig22", [("stage", "start_ms", "end_ms")] + rows)
+
+    total = timeline_total(stages)
+    by_name = {stage.name: stage.duration_s for stage in stages}
+    # The optical switch itself is tens of milliseconds; the multi-second
+    # total is dominated by transceiver/NIC initialisation (the engineering
+    # gap §C discusses).
+    assert by_name["ocs_reconfiguration"] < 0.1
+    assert total > 3.0
+    assert (by_name["transceiver_initialization"] + by_name["nic_initialization"]) / total > 0.95

@@ -1,0 +1,23 @@
+"""Figure 23: CDF of NIC activation time after OCS reconfiguration."""
+
+import numpy as np
+from conftest import print_series
+
+from repro.testbed import NICActivationModel, empirical_cdf, percentile
+
+
+def test_fig23_nic_activation(benchmark):
+    def build():
+        return NICActivationModel().sample(5000, rng=np.random.default_rng(3))
+
+    samples = benchmark(build)
+    cdf = empirical_cdf(samples)
+    rows = [
+        (round(float(np.interp(q, cdf["cdf"], cdf["values"])), 2), q)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    ]
+    print_series("Fig23", [("activation_time_s", "cdf")] + rows)
+
+    assert np.mean(samples) == float(np.mean(samples))
+    assert 5.3 < np.mean(samples) < 6.1
+    assert 6.0 < percentile(samples, 99) < 7.0

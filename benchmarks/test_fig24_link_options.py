@@ -1,0 +1,31 @@
+"""Figure 24: cost comparison of EPS link options at 400 Gbps (Appendix D.3)."""
+
+from conftest import print_series
+
+from repro.cost import FIGURE11_CLUSTER_SIZES, LinkType, NetworkingCostModel
+
+
+def test_fig24_link_options(benchmark):
+    def build():
+        model = NetworkingCostModel()
+        rows = []
+        for fabric in ("Fat-tree", "MixNet"):
+            for link_type in LinkType:
+                for size in FIGURE11_CLUSTER_SIZES:
+                    cost = model.cost(fabric, size, 400, link_type)
+                    rows.append((fabric, link_type.value, size, round(cost.total_millions, 2)))
+        return rows
+
+    rows = benchmark(build)
+    print_series("Fig24", [("fabric", "link_type", "gpus", "cost_M$")] + rows)
+
+    costs = {(fabric, lt, size): value for fabric, lt, size, value in rows}
+    size = 4096
+    # DAC/AOC options slightly reduce cost for both designs...
+    for fabric in ("Fat-tree", "MixNet"):
+        assert costs[(fabric, "DAC-3m", size)] <= costs[(fabric, "AOC-10m", size)]
+        assert costs[(fabric, "AOC-10m", size)] <= costs[(fabric, "Transceiver-Fiber", size)]
+    # ...but MixNet keeps roughly a 2x total-cost advantage regardless (§D.3).
+    for link_type in LinkType:
+        ratio = costs[("Fat-tree", link_type.value, size)] / costs[("MixNet", link_type.value, size)]
+        assert ratio > 1.8

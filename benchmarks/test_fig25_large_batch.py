@@ -1,0 +1,36 @@
+"""Figure 25: training speed-ups of Mixtral models at larger batch sizes."""
+
+from conftest import all_fabrics, bench_cluster, print_series
+
+from repro.core.runtime import RuntimeOptions, normalized_iteration_times, simulate_fabrics
+from repro.moe.models import MIXTRAL_8x7B
+
+
+def test_fig25_large_batch(run_once):
+    def build():
+        output = {}
+        for mbs in (32, 64):
+            cluster = bench_cluster(100.0)
+            fabrics = all_fabrics(cluster)
+            results = simulate_fabrics(
+                MIXTRAL_8x7B,
+                [fabrics["Fat-tree"], fabrics["Rail-optimized"], fabrics["TopoOpt"],
+                 fabrics["MixNet"]],
+                options=RuntimeOptions(micro_batch_size=mbs),
+            )
+            output[mbs] = normalized_iteration_times(results, reference="Fat-tree")
+        return output
+
+    by_batch = run_once(build)
+    rows = [
+        (mbs, fabric, round(value, 3))
+        for mbs, normalized in by_batch.items()
+        for fabric, value in normalized.items()
+    ]
+    print_series("Fig25", [("micro_batch", "fabric", "normalized_iter_time")] + rows)
+
+    for mbs, normalized in by_batch.items():
+        # MixNet consistently outperforms TopoOpt at large batch sizes and
+        # stays close to the non-blocking fabrics.
+        assert normalized["MixNet"] < normalized["TopoOpt"]
+        assert normalized["MixNet"] < 1.4

@@ -1,0 +1,68 @@
+"""Figure 26: scalability in throughput and performance-per-dollar."""
+
+from conftest import print_series
+
+from repro.analysis import DesignPoint, cost_efficiency_gain
+from repro.cluster import simulation_cluster
+from repro.core.runtime import TrainingSimulator
+from repro.cost import NetworkingCostModel
+from repro.fabric import FatTreeFabric, MixNetFabric, RailOptimizedFabric
+from repro.moe.models import MIXTRAL_8x7B
+
+#: Server counts swept (x8 GPUs).  The paper goes to 4096 servers; the
+#: regional simulation is scale-invariant so a shorter sweep shows the trend.
+SERVER_SWEEP = (16, 32, 64, 128)
+
+
+def run_point(servers):
+    cluster = simulation_cluster(servers, nic_bandwidth_gbps=400.0)
+    results = {}
+    for fabric in (FatTreeFabric(cluster), RailOptimizedFabric(cluster), MixNetFabric(cluster)):
+        simulator = TrainingSimulator(MIXTRAL_8x7B, cluster, fabric)
+        results[fabric.name] = simulator.simulate_iteration()
+    return cluster.num_gpus, results
+
+
+def test_fig26_scalability(run_once):
+    def build():
+        return [run_point(servers) for servers in SERVER_SWEEP]
+
+    sweep = run_once(build)
+    cost_model = NetworkingCostModel()
+    throughput_rows = []
+    efficiency_rows = []
+    baseline_tps = None
+    for num_gpus, results in sweep:
+        for name, result in results.items():
+            if baseline_tps is None:
+                baseline_tps = result.tokens_per_second
+            throughput_rows.append(
+                (num_gpus, name, round(result.tokens_per_second / baseline_tps, 3))
+            )
+        points = {
+            name: DesignPoint(name, result.iteration_time_s,
+                              cost_model.cost(name, num_gpus, 400).total)
+            for name, result in results.items()
+        }
+        efficiency_rows.append(
+            (num_gpus, "MixNet vs Fat-tree",
+             round(cost_efficiency_gain(points, "MixNet", "Fat-tree"), 2))
+        )
+        efficiency_rows.append(
+            (num_gpus, "MixNet vs Rail-optimized",
+             round(cost_efficiency_gain(points, "MixNet", "Rail-optimized"), 2))
+        )
+    print_series("Fig26a", [("gpus", "fabric", "normalized_tokens_per_s")] + throughput_rows)
+    print_series("Fig26b", [("gpus", "comparison", "perf_per_dollar_gain")] + efficiency_rows)
+
+    # Throughput scales close to linearly with the number of GPUs for MixNet
+    # as it does for Fat-tree (Figure 26a).
+    mixnet_tps = {gpus: value for gpus, name, value in throughput_rows if name == "MixNet"}
+    gpus_sorted = sorted(mixnet_tps)
+    scaling = (mixnet_tps[gpus_sorted[-1]] / mixnet_tps[gpus_sorted[0]]) / (
+        gpus_sorted[-1] / gpus_sorted[0]
+    )
+    assert scaling > 0.85
+    # MixNet keeps a roughly 2x perf-per-dollar advantage at every scale.
+    for _, _, gain in efficiency_rows:
+        assert gain > 1.2

@@ -1,0 +1,31 @@
+"""Figure 27: impact of the optical degree alpha on MixNet's performance."""
+
+from conftest import print_series
+
+from repro.cluster import ClusterSpec, ServerSpec
+from repro.core.runtime import TrainingSimulator
+from repro.fabric import MixNetFabric
+from repro.moe.models import MIXTRAL_8x22B
+
+
+def test_fig27_optical_degree(run_once):
+    def build():
+        results = {}
+        for alpha in (1, 2, 4, 6):
+            # Vary only the optical fanout; the EPS side keeps its two NICs so
+            # the comparison isolates the optical degree (the paper keeps the
+            # total electronic cost constant instead).
+            server = ServerSpec(num_nics=2 + alpha, nic_bandwidth_gbps=100.0, ocs_nics=alpha)
+            cluster = ClusterSpec(num_servers=64, server=server)
+            simulator = TrainingSimulator(MIXTRAL_8x22B, cluster, MixNetFabric(cluster))
+            results[alpha] = simulator.simulate_iteration().iteration_time_s
+        return results
+
+    results = run_once(build)
+    baseline = results[6]
+    rows = [(alpha, round(value / baseline, 3)) for alpha, value in sorted(results.items())]
+    print_series("Fig27", [("optical_degree", "normalized_iter_time")] + rows)
+
+    # More optical circuits per server monotonically reduce iteration time.
+    assert results[1] >= results[2] >= results[4] >= results[6]
+    assert results[1] / results[6] > 1.05

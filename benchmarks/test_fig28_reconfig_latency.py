@@ -1,0 +1,37 @@
+"""Figure 28: sensitivity to OCS reconfiguration latency (1 us to 10 s)."""
+
+from conftest import bench_cluster, print_series
+
+from repro.core.runtime import RuntimeOptions, TrainingSimulator
+from repro.fabric import MixNetFabric
+from repro.moe.models import MIXTRAL_8x22B
+
+LATENCIES = (1e-6, 1e-4, 1e-3, 0.025, 0.1, 1.0, 10.0)
+
+
+def test_fig28_reconfig_latency(run_once):
+    def build():
+        cluster = bench_cluster(400.0, servers=64)
+        results = {}
+        for latency in LATENCIES:
+            options = RuntimeOptions(reconfiguration_delay_s=latency)
+            simulator = TrainingSimulator(MIXTRAL_8x22B, cluster, MixNetFabric(cluster),
+                                          options=options)
+            results[latency] = simulator.simulate_iteration().iteration_time_s
+        return results
+
+    results = run_once(build)
+    baseline = results[0.025]
+    rows = [
+        (f"{latency:g}", round(value / baseline, 3)) for latency, value in sorted(results.items())
+    ]
+    print_series("Fig28", [("reconfig_latency_s", "normalized_iter_time")] + rows)
+
+    # Microsecond-scale switching only yields marginal gains over the 25 ms
+    # default, because reconfiguration is already mostly hidden...
+    assert results[1e-6] >= 0.85 * baseline
+    assert results[1e-6] <= baseline
+    # ...while second-scale switching can no longer be hidden and degrades
+    # training markedly.
+    assert results[1.0] > 1.3 * baseline
+    assert results[10.0] > results[1.0]

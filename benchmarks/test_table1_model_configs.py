@@ -1,0 +1,29 @@
+"""Table 1: state-of-the-art MoE training configurations."""
+
+from conftest import print_series
+
+from repro.moe.models import TABLE1_MODELS
+
+
+def test_table1_model_configs(benchmark):
+    def build():
+        return [
+            (
+                model.name,
+                model.num_moe_blocks,
+                model.num_experts,
+                model.ep_degree,
+                model.tp_degree,
+                model.pp_degree,
+                model.seq_len,
+                model.micro_batch_size,
+            )
+            for model in TABLE1_MODELS
+        ]
+
+    rows = benchmark(build)
+    print_series(
+        "Table1",
+        [("model", "blocks", "experts", "EP", "TP", "PP", "seq", "mbs")] + rows,
+    )
+    assert len(rows) == 3

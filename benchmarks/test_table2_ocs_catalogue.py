@@ -1,0 +1,21 @@
+"""Table 2: port count vs reconfiguration delay of commodity OCS devices."""
+
+from conftest import print_series
+
+from repro.fabric.ocs import OCS_CATALOGUE, select_technology
+
+
+def test_table2_ocs_catalogue(benchmark):
+    def build():
+        return [
+            (tech.name, tech.port_count, tech.reconfiguration_delay_s)
+            for tech in OCS_CATALOGUE
+        ]
+
+    rows = benchmark(build)
+    print_series("Table2", [("technology", "ports", "reconfig_delay_s")] + rows)
+    # The trade-off the paper builds on: a regional 64-port slice can use a
+    # millisecond-class device, a global fabric cannot.
+    regional = select_technology(64, max_delay_s=0.025)
+    assert regional.reconfiguration_delay_s <= 0.025
+    assert select_technology(1008).reconfiguration_delay_s > 1.0

@@ -1,0 +1,31 @@
+"""Table 3: matching parallelisms to interconnect technologies."""
+
+from conftest import print_series
+
+from repro.moe.models import MIXTRAL_8x7B
+from repro.moe.traffic import traffic_breakdown
+
+
+def test_table3_parallelism_fit(benchmark):
+    def build():
+        volumes = traffic_breakdown(MIXTRAL_8x7B).as_dict()
+        character = {
+            "TP": ("Deterministic", "Local All-Reduce", "Crossbar Switch (NVSwitch)"),
+            "EP": ("Non-Deterministic", "Regional Sparse All-to-All", "Circuit Switch (Optical)"),
+            "PP": ("Deterministic", "Global Point-to-Point", "Electrical Packet Switch"),
+            "DP": ("Deterministic", "Global All-Reduce", "Electrical Packet Switch"),
+        }
+        return [
+            (name, f"{volumes[name] / 1e9:.1f} GB", *character[name])
+            for name in ("DP", "TP", "PP", "EP")
+        ]
+
+    rows = benchmark(build)
+    print_series(
+        "Table3",
+        [("parallelism", "volume", "temporal", "spatial", "best-fit interconnect")] + rows,
+    )
+    volumes = traffic_breakdown(MIXTRAL_8x7B).as_dict()
+    # TP is the highest-volume deterministic traffic; EP the highest dynamic one.
+    assert volumes["TP"] > volumes["EP"] > volumes["DP"]
+    assert volumes["EP"] > volumes["PP"]

@@ -1,0 +1,28 @@
+"""Table 4: network component prices."""
+
+from conftest import print_series
+
+from repro.cost import COST_BANDWIDTHS, prices_for_bandwidth
+
+
+def test_table4_component_costs(benchmark):
+    def build():
+        return [
+            (
+                f"{bw} Gbps",
+                prices_for_bandwidth(bw).transceiver,
+                prices_for_bandwidth(bw).nic,
+                prices_for_bandwidth(bw).electrical_switch_port,
+                prices_for_bandwidth(bw).ocs_port,
+                prices_for_bandwidth(bw).patch_panel_port,
+            )
+            for bw in COST_BANDWIDTHS
+        ]
+
+    rows = benchmark(build)
+    print_series(
+        "Table4",
+        [("link", "transceiver$", "nic$", "switch_port$", "ocs_port$", "patch_port$")] + rows,
+    )
+    assert rows[0][1:] == (99.0, 659.0, 187.0, 520.0, 100.0)
+    assert rows[2][1:] == (659.0, 1499.0, 1090.0, 520.0, 100.0)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare interconnect fabrics for large-scale MoE training (Figure 12 / 13).
+
+Simulates one training iteration of several MoE models on a 1024-GPU cluster
+over the five fabrics evaluated in the paper — non-blocking Fat-tree,
+3:1 over-subscribed Fat-tree, Rail-optimized, TopoOpt and MixNet — at two link
+bandwidths, then combines the iteration times with the networking cost model
+into the performance-per-dollar comparison of §7.4.
+
+Run with:  python examples/fabric_comparison.py [--servers 128]
+"""
+
+import argparse
+
+from repro import (
+    DesignPoint,
+    FatTreeFabric,
+    MixNetFabric,
+    NetworkingCostModel,
+    RailOptimizedFabric,
+    TopoOptFabric,
+    cost_efficiency_gain,
+    normalized_iteration_times,
+    pareto_front,
+    simulate_fabrics,
+    simulation_cluster,
+)
+from repro.moe.models import MIXTRAL_8x7B, QWEN_MOE_EP32
+
+
+def fabrics_for(cluster):
+    return [
+        FatTreeFabric(cluster),
+        FatTreeFabric(cluster, oversubscription=3.0),
+        RailOptimizedFabric(cluster),
+        TopoOptFabric(cluster),
+        MixNetFabric(cluster),
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=32,
+                        help="servers to simulate (128 reproduces the paper's 1024 GPUs)")
+    parser.add_argument("--bandwidths", type=float, nargs="+", default=[100.0, 400.0])
+    args = parser.parse_args()
+
+    cost_model = NetworkingCostModel()
+    for model in (MIXTRAL_8x7B, QWEN_MOE_EP32):
+        print(f"\n=== {model.name} on {args.servers * 8} GPUs ===")
+        for bandwidth in args.bandwidths:
+            cluster = simulation_cluster(args.servers, nic_bandwidth_gbps=bandwidth)
+            results = simulate_fabrics(model, fabrics_for(cluster))
+            normalized = normalized_iteration_times(results, reference="Fat-tree")
+
+            print(f"\n  link bandwidth {bandwidth:.0f} Gbps — normalized iteration time:")
+            for name, value in sorted(normalized.items(), key=lambda item: item[1]):
+                print(f"    {name:20s} {value:5.2f}x")
+
+            points = {
+                name: DesignPoint(
+                    fabric=name,
+                    iteration_time_s=result.iteration_time_s,
+                    cost_usd=cost_model.cost(name, cluster.num_gpus, int(bandwidth)).total,
+                )
+                for name, result in results.items()
+            }
+            front = [p.fabric for p in pareto_front(list(points.values()))]
+            gain_ft = cost_efficiency_gain(points, "MixNet", "Fat-tree")
+            gain_rail = cost_efficiency_gain(points, "MixNet", "Rail-optimized")
+            print(f"    Pareto front: {front}")
+            print(f"    MixNet perf-per-dollar vs Fat-tree: {gain_ft:.2f}x, "
+                  f"vs Rail-optimized: {gain_rail:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one Mixtral 8x7B training iteration on MixNet.
+
+This walks through the core MixNet workflow end to end:
+
+1. build a cluster and a MixNet fabric (EPS + regional OCS),
+2. generate an iteration's expert-parallel traffic demand with the synthetic
+   gate,
+3. run Algorithm 1 to turn the demand into an optical circuit allocation,
+4. simulate the full training iteration and compare it against a non-blocking
+   Fat-tree, and
+5. put the result next to the networking cost of both fabrics.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    MIXTRAL_8x7B,
+    FatTreeFabric,
+    MixNetFabric,
+    NetworkingCostModel,
+    ParallelismPlan,
+    RuntimeOptions,
+    TrainingSimulator,
+    simulation_cluster,
+)
+from repro.core.demand import rank_to_server_demand
+from repro.core.reconfigure import reconfigure_ocs
+from repro.moe.trace import generate_trace
+
+
+def main() -> None:
+    # ------------------------------------------------------------ 1. hardware
+    cluster = simulation_cluster(num_servers=16, nic_bandwidth_gbps=400.0)
+    mixnet = MixNetFabric(cluster)
+    fat_tree = FatTreeFabric(cluster)
+    plan = ParallelismPlan(MIXTRAL_8x7B, cluster)
+    print("Cluster:", cluster.num_gpus, "GPUs on", cluster.num_servers, "servers")
+    print("Parallelism:", plan.summary())
+
+    # ---------------------------------------------------- 2. traffic demand
+    record = generate_trace(MIXTRAL_8x7B, num_iterations=1, seed=0)[0]
+    group = plan.ep_groups()[0]
+    demand, servers = rank_to_server_demand(record.traffic_matrices[0], group, cluster)
+    print("\nInter-server EP demand (MB) for MoE block 0:")
+    for row in demand / 1e6:
+        print("   ", " ".join(f"{value:8.1f}" for value in row))
+
+    # -------------------------------------------------- 3. Algorithm 1 output
+    allocation = reconfigure_ocs(
+        demand, optical_degree=mixnet.optical_degree, servers=servers, cluster=cluster
+    )
+    print("\nAlgorithm 1 circuit allocation (server pair -> circuits):")
+    for pair, count in sorted(allocation.circuits.items()):
+        print(f"    {pair}: {count}")
+    print(f"    bottleneck transfer estimate: {allocation.completion_time_estimate * 1e3:.2f} ms")
+
+    # ------------------------------------------------------ 4. iteration time
+    options = RuntimeOptions(first_a2a_policy="block")
+    results = {}
+    for fabric in (fat_tree, mixnet):
+        simulator = TrainingSimulator(MIXTRAL_8x7B, cluster, fabric, options=options)
+        results[fabric.name] = simulator.simulate_iteration(record=record)
+    print("\nSimulated training iteration:")
+    for name, result in results.items():
+        print(
+            f"    {name:10s} iteration {result.iteration_time_s:7.2f} s"
+            f"   (stage {result.stage_time_s:6.3f} s,"
+            f" reconfig stalls {result.reconfig_blocking_s * 1e3:5.1f} ms,"
+            f" {result.tokens_per_second / 1e6:.2f} Mtokens/s)"
+        )
+
+    # ------------------------------------------------------------- 5. cost
+    cost_model = NetworkingCostModel()
+    print("\nNetworking cost at this scale (400 Gbps links):")
+    points = {}
+    for name in ("Fat-tree", "MixNet"):
+        cost = cost_model.cost(name, cluster.num_gpus, 400)
+        points[name] = cost
+        print(f"    {name:10s} ${cost.total / 1e6:6.2f} M")
+    perf_per_dollar = {
+        name: (1.0 / results[name].iteration_time_s) / points[name].total
+        for name in points
+    }
+    gain = perf_per_dollar["MixNet"] / perf_per_dollar["Fat-tree"]
+    print(f"\nMixNet cost-efficiency gain over Fat-tree: {gain:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

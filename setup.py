@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the ``wheel`` package required by
+PEP 660 editable builds (pip falls back to the legacy ``setup.py develop``
+path in that case).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,158 @@
+"""MixNet reproduction: a runtime reconfigurable optical-electrical fabric for
+distributed Mixture-of-Experts training (SIGCOMM 2025).
+
+The package is organised as:
+
+* :mod:`repro.cluster` — hardware specification (servers, GPUs, NICs, NUMA);
+* :mod:`repro.moe` — MoE workload substrate (model zoo, parallelism planning,
+  synthetic gate, traffic characterisation, compute profiler);
+* :mod:`repro.fabric` — interconnect models (Fat-tree, Rail-optimized,
+  TopoOpt, MixNet, NVL72, OCS devices);
+* :mod:`repro.sim` — event-driven flow-level network/training simulator;
+* :mod:`repro.core` — MixNet's contribution (demand monitoring, Algorithm 1,
+  MixNet-Copilot, collective runtime, regional controllers, failure handling,
+  end-to-end training simulation);
+* :mod:`repro.cost` — networking cost model;
+* :mod:`repro.analysis` — evaluation metrics (speed-ups, Pareto fronts,
+  locality statistics);
+* :mod:`repro.testbed` — 32-GPU hardware-prototype emulation.
+
+Quickstart::
+
+    from repro import (
+        MIXTRAL_8x7B, simulation_cluster, MixNetFabric, FatTreeFabric,
+        TrainingSimulator, RuntimeOptions,
+    )
+
+    cluster = simulation_cluster(num_servers=16, nic_bandwidth_gbps=400.0)
+    mixnet = MixNetFabric(cluster)
+    result = TrainingSimulator(MIXTRAL_8x7B, cluster, mixnet).simulate_iteration()
+    print(result.iteration_time_s)
+"""
+
+from repro.analysis import (
+    DesignPoint,
+    cost_efficiency_gain,
+    locality_fraction,
+    normalize,
+    pareto_front,
+    speedup_over,
+)
+from repro.cluster import (
+    A100,
+    GB200,
+    H100,
+    H800,
+    ClusterSpec,
+    GPUSpec,
+    NICFabric,
+    ServerSpec,
+    simulation_cluster,
+    testbed_cluster,
+)
+from repro.core import (
+    CircuitAllocation,
+    FailureScenario,
+    IterationResult,
+    MixNetCopilot,
+    RegionalTopologyController,
+    RuntimeOptions,
+    TrafficMonitor,
+    TrainingSimulator,
+    normalized_iteration_times,
+    reconfigure_ocs,
+    simulate_fabrics,
+)
+from repro.cost import CostBreakdown, LinkType, NetworkingCostModel
+from repro.fabric import (
+    FatTreeFabric,
+    MixNetFabric,
+    OCSTechnology,
+    OpticalCircuitSwitch,
+    RailOptimizedFabric,
+    ScaleUpComparison,
+    TopoOptFabric,
+)
+from repro.moe import (
+    DEEPSEEK_R1,
+    DEEPSEEK_V3,
+    LLAMA_MOE,
+    MIXTRAL_8x7B,
+    MIXTRAL_8x22B,
+    MODEL_ZOO,
+    QWEN_MOE,
+    ComputeProfiler,
+    GateSimulator,
+    MoEModelConfig,
+    ParallelismPlan,
+    TrainingTrace,
+    generate_trace,
+    get_model,
+    gpu_traffic_matrix,
+    traffic_breakdown,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analysis
+    "DesignPoint",
+    "cost_efficiency_gain",
+    "locality_fraction",
+    "normalize",
+    "pareto_front",
+    "speedup_over",
+    # cluster
+    "A100",
+    "GB200",
+    "H100",
+    "H800",
+    "ClusterSpec",
+    "GPUSpec",
+    "NICFabric",
+    "ServerSpec",
+    "simulation_cluster",
+    "testbed_cluster",
+    # core
+    "CircuitAllocation",
+    "FailureScenario",
+    "IterationResult",
+    "MixNetCopilot",
+    "RegionalTopologyController",
+    "RuntimeOptions",
+    "TrafficMonitor",
+    "TrainingSimulator",
+    "normalized_iteration_times",
+    "reconfigure_ocs",
+    "simulate_fabrics",
+    # cost
+    "CostBreakdown",
+    "LinkType",
+    "NetworkingCostModel",
+    # fabric
+    "FatTreeFabric",
+    "MixNetFabric",
+    "OCSTechnology",
+    "OpticalCircuitSwitch",
+    "RailOptimizedFabric",
+    "ScaleUpComparison",
+    "TopoOptFabric",
+    # moe
+    "DEEPSEEK_R1",
+    "DEEPSEEK_V3",
+    "LLAMA_MOE",
+    "MIXTRAL_8x7B",
+    "MIXTRAL_8x22B",
+    "MODEL_ZOO",
+    "QWEN_MOE",
+    "ComputeProfiler",
+    "GateSimulator",
+    "MoEModelConfig",
+    "ParallelismPlan",
+    "TrainingTrace",
+    "generate_trace",
+    "get_model",
+    "gpu_traffic_matrix",
+    "traffic_breakdown",
+]

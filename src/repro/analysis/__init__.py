@@ -1,0 +1,33 @@
+"""Evaluation metrics and traffic-characterisation statistics."""
+
+from repro.analysis.locality import (
+    locality_fraction,
+    per_block_token_share,
+    sparsity_gini,
+    temporal_variability,
+    top_pair_share,
+)
+from repro.analysis.metrics import (
+    DesignPoint,
+    cost_efficiency_gain,
+    normalize,
+    pareto_front,
+    relative_points,
+    speedup_over,
+    tokens_per_second,
+)
+
+__all__ = [
+    "locality_fraction",
+    "per_block_token_share",
+    "sparsity_gini",
+    "temporal_variability",
+    "top_pair_share",
+    "DesignPoint",
+    "cost_efficiency_gain",
+    "normalize",
+    "pareto_front",
+    "relative_points",
+    "speedup_over",
+    "tokens_per_second",
+]

@@ -1,0 +1,96 @@
+"""Traffic locality and sparsity statistics (§3).
+
+The measurement study's key observations are quantified here: how much of the
+cluster-wide traffic stays inside regional blocks (Figure 5), how non-uniform
+an all-to-all matrix is (Figure 4b), and how the per-expert load variability
+evolves over training (Figure 4a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def locality_fraction(matrix: np.ndarray, regions: Sequence[Sequence[int]]) -> float:
+    """Fraction of total traffic that stays within the given regions.
+
+    Args:
+        matrix: Square traffic matrix (any granularity: GPU or server).
+        regions: Disjoint index groups; traffic between two indices of the same
+            group counts as local.
+
+    Returns:
+        Local bytes divided by total bytes (1.0 for perfectly regional traffic).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    total = matrix.sum()
+    if total <= 0:
+        return 1.0
+    local = 0.0
+    for region in regions:
+        idx = np.asarray(list(region), dtype=int)
+        local += matrix[np.ix_(idx, idx)].sum()
+    return float(local / total)
+
+
+def sparsity_gini(matrix: np.ndarray) -> float:
+    """Gini coefficient of the off-diagonal entries (0 uniform, ->1 sparse)."""
+    matrix = np.asarray(matrix, dtype=float)
+    n = matrix.shape[0]
+    off_diagonal = matrix[~np.eye(n, dtype=bool)].ravel()
+    if off_diagonal.sum() <= 0:
+        return 0.0
+    sorted_vals = np.sort(off_diagonal)
+    count = sorted_vals.size
+    cumulative = np.cumsum(sorted_vals)
+    gini = (count + 1 - 2 * (cumulative / cumulative[-1]).sum()) / count
+    return float(max(0.0, gini))
+
+
+def top_pair_share(matrix: np.ndarray, k: int = 4) -> float:
+    """Share of the total volume carried by the ``k`` heaviest ordered pairs."""
+    matrix = np.asarray(matrix, dtype=float)
+    n = matrix.shape[0]
+    off_diagonal = matrix[~np.eye(n, dtype=bool)].ravel()
+    total = off_diagonal.sum()
+    if total <= 0:
+        return 0.0
+    top = np.sort(off_diagonal)[::-1][:k]
+    return float(top.sum() / total)
+
+
+def temporal_variability(load_history: np.ndarray) -> Dict[str, float]:
+    """Summary of Figure 4a: how expert loads fluctuate across iterations.
+
+    Args:
+        load_history: Array ``(iterations, experts)`` of per-expert loads.
+
+    Returns:
+        ``{"early_cv", "late_cv", "mean_step_change"}`` — the coefficient of
+        variation at the start and end of the window and the mean absolute
+        relative change of each expert's load between consecutive samples.
+    """
+    history = np.asarray(load_history, dtype=float)
+    if history.ndim != 2 or history.shape[0] < 2:
+        raise ValueError("load_history must be (iterations >= 2, experts)")
+
+    def cv(row: np.ndarray) -> float:
+        mean = row.mean()
+        return float(row.std() / mean) if mean > 0 else 0.0
+
+    step_changes = np.abs(np.diff(history, axis=0)) / np.clip(history[:-1], 1e-12, None)
+    return {
+        "early_cv": cv(history[0]),
+        "late_cv": cv(history[-1]),
+        "mean_step_change": float(step_changes.mean()),
+    }
+
+
+def per_block_token_share(expert_loads: np.ndarray) -> List[float]:
+    """Max expert share per MoE block (Figure 18's non-uniformity measure)."""
+    loads = np.asarray(expert_loads, dtype=float)
+    if loads.ndim != 2:
+        raise ValueError("expert_loads must be (layers, experts)")
+    return [float(row.max() / max(row.sum(), 1e-12)) for row in loads]

@@ -1,0 +1,31 @@
+"""Cluster hardware specification (servers, GPUs, NICs, NUMA layout)."""
+
+from repro.cluster.spec import (
+    A100,
+    GB200,
+    H100,
+    H800,
+    GPU,
+    NIC,
+    ClusterSpec,
+    GPUSpec,
+    NICFabric,
+    ServerSpec,
+    simulation_cluster,
+    testbed_cluster,
+)
+
+__all__ = [
+    "A100",
+    "GB200",
+    "H100",
+    "H800",
+    "GPU",
+    "NIC",
+    "ClusterSpec",
+    "GPUSpec",
+    "NICFabric",
+    "ServerSpec",
+    "simulation_cluster",
+    "testbed_cluster",
+]

@@ -1,0 +1,145 @@
+"""All-to-all traffic characterisation (§5.1).
+
+The traffic monitor mirrors the demand-collection hook that MoE training
+frameworks already expose (the gate's dispatch probabilities determine the
+all-to-all traffic matrix).  It converts EP-rank-level demand into the
+server-level demand matrix consumed by Algorithm 1, and keeps a sliding
+window of per-layer expert loads that MixNet-Copilot uses to predict the
+first forward-pass all-to-all of the next layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+
+
+def rank_to_server_demand(
+    rank_matrix: np.ndarray,
+    group_ranks: Sequence[int],
+    cluster: ClusterSpec,
+) -> Tuple[np.ndarray, List[int]]:
+    """Aggregate an EP-rank traffic matrix to inter-server demand.
+
+    Args:
+        rank_matrix: ``(ep, ep)`` bytes dispatched between EP ranks.
+        group_ranks: Global ranks of the EP group, aligned with the matrix.
+        cluster: Cluster used to map ranks to servers.
+
+    Returns:
+        ``(demand, servers)`` where ``demand[i, j]`` is the bytes sent from
+        ``servers[i]`` to ``servers[j]`` (diagonal forced to zero) and
+        ``servers`` lists the distinct servers in ascending order.
+    """
+    matrix = np.asarray(rank_matrix, dtype=float)
+    ep = len(group_ranks)
+    if matrix.shape != (ep, ep):
+        raise ValueError(f"rank_matrix must be {ep}x{ep}, got {matrix.shape}")
+    servers = sorted({cluster.server_of_gpu(rank) for rank in group_ranks})
+    index = {server: i for i, server in enumerate(servers)}
+    demand = np.zeros((len(servers), len(servers)))
+    for i, src_rank in enumerate(group_ranks):
+        src = index[cluster.server_of_gpu(src_rank)]
+        for j, dst_rank in enumerate(group_ranks):
+            dst = index[cluster.server_of_gpu(dst_rank)]
+            if src != dst:
+                demand[src, dst] += matrix[i, j]
+    return demand, servers
+
+
+def symmetrize_upper(demand: np.ndarray) -> np.ndarray:
+    """Fold TX and RX demand together into an upper-triangular matrix.
+
+    Algorithm 1 (step 1) provisions the TX and RX sides of each optical link
+    together, so the demand between a server pair is the sum of both
+    directions, stored once in the upper triangle.
+    """
+    demand = np.asarray(demand, dtype=float)
+    if demand.ndim != 2 or demand.shape[0] != demand.shape[1]:
+        raise ValueError("demand must be a square matrix")
+    combined = np.triu(demand + demand.T, k=1)
+    return combined
+
+
+@dataclass(frozen=True)
+class DemandSnapshot:
+    """Demand observed for one MoE layer at one iteration."""
+
+    iteration: int
+    layer: int
+    expert_loads: np.ndarray
+    rank_matrix: np.ndarray
+
+
+class TrafficMonitor:
+    """Sliding-window recorder of per-layer EP traffic demand.
+
+    Args:
+        num_layers: MoE blocks being tracked.
+        window: Number of recent iterations retained per layer (the weighted
+            window ``k`` of the Copilot estimator, Appendix B.1).
+    """
+
+    def __init__(self, num_layers: int, window: int = 8) -> None:
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.num_layers = num_layers
+        self.window = window
+        self._history: Dict[int, Deque[DemandSnapshot]] = {
+            layer: deque(maxlen=window) for layer in range(num_layers)
+        }
+
+    def record(
+        self,
+        iteration: int,
+        layer: int,
+        expert_loads: np.ndarray,
+        rank_matrix: np.ndarray,
+    ) -> None:
+        """Record the demand observed for ``layer`` at ``iteration``."""
+        self._check_layer(layer)
+        self._history[layer].append(
+            DemandSnapshot(
+                iteration=iteration,
+                layer=layer,
+                expert_loads=np.asarray(expert_loads, dtype=float).copy(),
+                rank_matrix=np.asarray(rank_matrix, dtype=float).copy(),
+            )
+        )
+
+    def history(self, layer: int) -> List[DemandSnapshot]:
+        self._check_layer(layer)
+        return list(self._history[layer])
+
+    def latest(self, layer: int) -> Optional[DemandSnapshot]:
+        self._check_layer(layer)
+        hist = self._history[layer]
+        return hist[-1] if hist else None
+
+    def load_pairs(self, layer: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """(previous-layer load, this-layer load) training pairs for Copilot.
+
+        Pairs are formed from snapshots of the same iteration recorded for
+        ``layer - 1`` and ``layer``.
+        """
+        self._check_layer(layer)
+        if layer == 0:
+            return []
+        prev_by_iter = {s.iteration: s for s in self._history[layer - 1]}
+        pairs: List[Tuple[np.ndarray, np.ndarray]] = []
+        for snap in self._history[layer]:
+            prev = prev_by_iter.get(snap.iteration)
+            if prev is not None:
+                pairs.append((prev.expert_loads, snap.expert_loads))
+        return pairs
+
+    def _check_layer(self, layer: int) -> None:
+        if not 0 <= layer < self.num_layers:
+            raise ValueError(f"layer {layer} out of range [0, {self.num_layers})")

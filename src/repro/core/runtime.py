@@ -1,0 +1,540 @@
+"""End-to-end training-iteration simulation on any fabric.
+
+This is the glue that reproduces the paper's large-scale evaluation: it builds
+the task DAG of one pipeline stage's forward and backward pass (Figure 1b /
+Figure 20), routes every collective through the fabric under test, lets the
+MixNet topology controller reconfigure the regional OCS where the fabric
+supports it, executes the DAG on the fluid network simulator, and composes the
+result into a full iteration time using the standard pipeline-parallel
+schedule plus the (deterministic) DP all-reduce and PP transfers.
+
+Scaling note: a regional OCS only ever spans one EP group (§4.2), and EP
+groups in different regions use disjoint OCS slices and disjoint server
+uplinks, so the simulator models one representative region in detail and
+scales throughput by the number of data-parallel replicas — see DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.collective import (
+    ep_all_to_all_flows,
+    ring_all_reduce_time,
+    tp_all_reduce_time,
+)
+from repro.core.controller import RegionalTopologyController
+from repro.core.failures import (
+    FailureEffects,
+    FailureScenario,
+    apply_effects_to_region,
+    resolve_effects,
+)
+from repro.core.reconfigure import CircuitAllocation
+from repro.fabric.base import Fabric, RegionNetwork
+from repro.fabric.mixnet import MixNetFabric, MixNetRegionNetwork
+from repro.fabric.topoopt import TopoOptFabric
+from repro.moe.gate import GateSimulator
+from repro.moe.models import MoEModelConfig
+from repro.moe.parallelism import ParallelismPlan
+from repro.moe.profile import ComputeProfiler
+from repro.moe.trace import IterationRecord, generate_trace
+from repro.moe.traffic import activation_bytes, dp_bytes_per_gpu
+from repro.sim.dag import RouteKind, TaskGraph
+from repro.sim.executor import Executor
+
+#: Policies for handling the forward pass's first all-to-all (§5.1, §B.2).
+FIRST_A2A_POLICIES = ("block", "reuse", "copilot")
+
+
+@dataclass
+class RuntimeOptions:
+    """Knobs of the training-iteration simulation.
+
+    Attributes:
+        first_a2a_policy: How MixNet handles the forward pass's first
+            all-to-all: ``"block"`` stalls for the OCS delay with exact
+            demand (the paper's default in §7.1), ``"reuse"`` keeps the
+            previous layer's circuits, ``"copilot"`` proactively reconfigures
+            from predicted demand and recalibrates during expert computation.
+        reconfiguration_delay_s: OCS switching delay (25 ms default).
+        num_micro_batches: Micro-batches per iteration (defaults to the PP
+            degree, the paper's setting).
+        grad_accumulation_steps: Micro-batches per optimizer step, used to
+            amortise the DP all-reduce.
+        include_dp_allreduce: Whether to add the DP all-reduce to the
+            iteration time.
+        micro_batch_size: Override of the model's micro-batch size.
+        eps_collective_efficiency: Effective fraction of line rate achieved by
+            all-to-all traffic on packet-switched fabrics.  Production
+            all-to-all over shared Clos networks reaches only a fraction of
+            the NIC rate (NCCL algorithmic bandwidth, incast, cross-rail
+            forwarding — the inefficiency Figure 3's measured phases embody).
+        ocs_collective_efficiency: Effective fraction of line rate achieved on
+            a dedicated optical circuit (a single point-to-point RDMA stream).
+        seed: Seed for synthetic traffic when no trace record is supplied.
+    """
+
+    first_a2a_policy: str = "block"
+    reconfiguration_delay_s: float = 0.025
+    num_micro_batches: Optional[int] = None
+    grad_accumulation_steps: int = 32
+    include_dp_allreduce: bool = True
+    micro_batch_size: Optional[int] = None
+    eps_collective_efficiency: float = 0.6
+    ocs_collective_efficiency: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.first_a2a_policy not in FIRST_A2A_POLICIES:
+            raise ValueError(
+                f"first_a2a_policy must be one of {FIRST_A2A_POLICIES}, "
+                f"got {self.first_a2a_policy!r}"
+            )
+        if self.reconfiguration_delay_s < 0:
+            raise ValueError("reconfiguration_delay_s must be non-negative")
+        if not 0 < self.eps_collective_efficiency <= 1.0:
+            raise ValueError("eps_collective_efficiency must be in (0, 1]")
+        if not 0 < self.ocs_collective_efficiency <= 1.0:
+            raise ValueError("ocs_collective_efficiency must be in (0, 1]")
+
+
+@dataclass
+class IterationResult:
+    """Timing of one simulated training iteration."""
+
+    fabric: str
+    model: str
+    iteration_time_s: float
+    stage_time_s: float
+    dp_allreduce_s: float
+    pp_transfer_s: float
+    reconfig_blocking_s: float
+    comm_bytes: float
+    compute_time_s: float
+    num_micro_batches: int
+    tokens_per_iteration: float
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.iteration_time_s <= 0:
+            return 0.0
+        return self.tokens_per_iteration / self.iteration_time_s
+
+
+class TrainingSimulator:
+    """Simulates distributed MoE training iterations on a fabric.
+
+    Args:
+        model: MoE model configuration.
+        cluster: Physical cluster (must fit the model's TP/PP/EP degrees).
+        fabric: Interconnect under test.
+        options: Runtime options.
+    """
+
+    def __init__(
+        self,
+        model: MoEModelConfig,
+        cluster: ClusterSpec,
+        fabric: Fabric,
+        options: Optional[RuntimeOptions] = None,
+    ) -> None:
+        self.model = model
+        self.cluster = cluster
+        self.fabric = fabric
+        self.options = options or RuntimeOptions()
+        self.plan = ParallelismPlan(model, cluster)
+        self.profiler = ComputeProfiler(gpu=cluster.server.gpu)
+        self._gate = GateSimulator(model, seed=self.options.seed)
+        group = self.plan.ep_groups()[0]
+        self.group_ranks = group
+        self.region_servers = cluster.servers_of_gpus(group)
+
+    # ----------------------------------------------------------------- inputs
+    def default_record(self, iteration: int = 0) -> IterationRecord:
+        """Synthesize a demand record when no trace is supplied."""
+        trace = generate_trace(
+            self.model,
+            num_iterations=iteration + 1,
+            sample_every=max(1, iteration + 1),
+            seed=self.options.seed,
+        )
+        return trace[-1]
+
+    def _stage_layers(self) -> List[int]:
+        """Layer indices hosted by the representative pipeline stage."""
+        blocks = self.model.blocks_per_pp_stage
+        return list(range(min(blocks, self.model.num_moe_blocks)))
+
+    # ----------------------------------------------------------------- region
+    def _build_region(self, record: IterationRecord) -> RegionNetwork:
+        if isinstance(self.fabric, TopoOptFabric):
+            # TopoOpt optimises its one-shot topology for the *profiled*
+            # (time-averaged) demand before training starts, not for the
+            # iteration under evaluation — that mismatch is exactly the
+            # adaptivity gap §7.3 quantifies.
+            demand_hint = self._profiled_average_demand()
+            return self.fabric.build_region(self.region_servers, demand_hint=demand_hint)
+        return self.fabric.build_region(self.region_servers)
+
+    def _profiled_average_demand(self) -> np.ndarray:
+        from repro.core.demand import rank_to_server_demand
+
+        layers = self._stage_layers()
+        profile_trace = generate_trace(
+            self.model,
+            num_iterations=3,
+            sample_every=1,
+            seed=self.options.seed + 9973,
+            layers=layers,
+        )
+        total: Optional[np.ndarray] = None
+        count = 0
+        for profiled in profile_trace:
+            for index in range(len(layers)):
+                matrix = profiled.traffic_matrices[index]
+                demand, _ = rank_to_server_demand(matrix, self.group_ranks, self.cluster)
+                total = demand if total is None else total + demand
+                count += 1
+        assert total is not None and count > 0
+        return total / count
+
+    # -------------------------------------------------------------- iteration
+    def simulate_iteration(
+        self,
+        record: Optional[IterationRecord] = None,
+        failure: Optional[FailureScenario] = None,
+    ) -> IterationResult:
+        """Simulate one training iteration and return its timing."""
+        record = record or self.default_record()
+        options = self.options
+        mbs = options.micro_batch_size or self.model.micro_batch_size
+        profile = self.profiler.block_profile(self.model, mbs)
+        scaled_activation = activation_bytes(self.model) * mbs / self.model.micro_batch_size
+        # All TP groups sharing a server all-reduce concurrently over the same
+        # NVSwitch, so each group sees its proportional share of the fabric.
+        tp_share = min(1.0, self.model.tp_degree / self.cluster.gpus_per_server)
+        tp_time = tp_all_reduce_time(
+            scaled_activation,
+            self.model.tp_degree,
+            self.cluster.server.nvswitch_bandwidth_gbps * tp_share,
+        )
+
+        effects = FailureEffects()
+        if failure is not None:
+            effects = resolve_effects(
+                failure, self.cluster, self.region_servers, scaled_activation
+            )
+
+        region = self._build_region(record)
+        apply_effects_to_region(region, effects)
+
+        controller: Optional[RegionalTopologyController] = None
+        if isinstance(self.fabric, MixNetFabric) and isinstance(region, MixNetRegionNetwork):
+            optical_degree = self.fabric.optical_degree
+            for server, penalty in effects.ocs_degree_penalty.items():
+                if server in self.region_servers:
+                    optical_degree = max(0, self.fabric.optical_degree - penalty)
+            controller = RegionalTopologyController(
+                region,
+                self.cluster,
+                optical_degree=optical_degree,
+                reconfiguration_delay_s=options.reconfiguration_delay_s,
+            )
+            # Start from a demand-oblivious wiring, like a freshly-cabled OCS.
+            region.apply_circuits(controller.plan_uniform(self.region_servers).circuits)
+
+        graph, compute_total = self._build_stage_graph(
+            record, profile, tp_time, effects, controller, mbs
+        )
+        execution = Executor(graph, region).run()
+        stage_time = execution.makespan
+
+        pp_transfer = self._pp_transfer_time(mbs)
+        micro_batches = options.num_micro_batches or self.model.pp_degree
+        pipeline_factor = micro_batches + self.model.pp_degree - 1
+        dp_time = self._dp_allreduce_time() if options.include_dp_allreduce else 0.0
+
+        iteration_time = pipeline_factor * (stage_time + pp_transfer) + dp_time
+        tokens = (
+            self.model.seq_len * mbs * micro_batches * self.plan.dp
+        )
+        reconfig_blocking = controller.total_blocking_s if controller else 0.0
+        return IterationResult(
+            fabric=self.fabric.name,
+            model=self.model.name,
+            iteration_time_s=iteration_time,
+            stage_time_s=stage_time,
+            dp_allreduce_s=dp_time,
+            pp_transfer_s=pp_transfer,
+            reconfig_blocking_s=reconfig_blocking,
+            comm_bytes=execution.comm_bytes,
+            compute_time_s=compute_total,
+            num_micro_batches=micro_batches,
+            tokens_per_iteration=tokens,
+        )
+
+    # ------------------------------------------------------------ DAG builder
+    def _build_stage_graph(
+        self,
+        record: IterationRecord,
+        profile,
+        tp_time: float,
+        effects: FailureEffects,
+        controller: Optional[RegionalTopologyController],
+        mbs: int,
+    ) -> tuple[TaskGraph, float]:
+        """Build the forward+backward DAG of one micro-batch on one stage."""
+        graph = TaskGraph()
+        options = self.options
+        model = self.model
+        layers = self._stage_layers()
+        scale = mbs / model.micro_batch_size
+        route = RouteKind.EP
+        delay = options.reconfiguration_delay_s
+        penalty = effects.compute_penalty_s_per_block
+        compute_total = 0.0
+
+        def matrix_of(layer: int) -> np.ndarray:
+            return record.traffic_matrices[min(layer, record.num_layers - 1)] * scale
+
+        allocation_cache: Dict[tuple, CircuitAllocation] = {}
+
+        def allocation_for(layer: int, predicted: bool = False) -> CircuitAllocation:
+            assert controller is not None
+            key = (layer, predicted)
+            if key not in allocation_cache:
+                if predicted and layer > 0:
+                    source = matrix_of(layer - 1)
+                else:
+                    source = matrix_of(layer)
+                allocation_cache[key] = controller.plan_from_rank_matrix(
+                    source, self.group_ranks
+                )
+            return allocation_cache[key]
+
+        def install_callback(allocation: CircuitAllocation) -> Callable[[], None]:
+            assert controller is not None
+
+            def _install() -> None:
+                controller.install(allocation)
+
+            return _install
+
+        def ep_flows(
+            matrix: np.ndarray,
+            transpose: bool,
+            allocation: Optional[CircuitAllocation],
+        ) -> List:
+            """All-to-all flows with concurrency and efficiency adjustments.
+
+            All ``tp`` expert-parallel groups of the region run their
+            all-to-all simultaneously over the same servers, so the
+            server-level volume is ``tp`` times one group's matrix.  Packet-
+            switched paths only achieve ``eps_collective_efficiency`` of line
+            rate for all-to-all traffic, while dedicated optical circuits
+            reach ``ocs_collective_efficiency`` — both are expressed by
+            inflating the flow's wire volume accordingly.
+            """
+            from repro.sim.dag import FlowSpec
+
+            base = ep_all_to_all_flows(
+                matrix, self.group_ranks, self.cluster, route=route, transpose=transpose
+            )
+            concurrency = float(model.tp_degree)
+            adjusted = []
+            for spec in base:
+                size = spec.size_bytes * concurrency
+                if spec.route is not RouteKind.INTRA:
+                    has_circuit = (
+                        allocation is not None
+                        and allocation.circuits_of(spec.src_server, spec.dst_server) > 0
+                    )
+                    efficiency = (
+                        options.ocs_collective_efficiency
+                        if has_circuit
+                        else options.eps_collective_efficiency
+                    )
+                    size /= efficiency
+                adjusted.append(
+                    FlowSpec(spec.src_server, spec.dst_server, size, spec.route)
+                )
+            return adjusted
+
+        prev: Optional[str] = None
+        previous_exact: Optional[CircuitAllocation] = None
+        # ------------------------------------------------------------ forward
+        for layer in layers:
+            matrix = matrix_of(layer)
+            attn = graph.add_compute(
+                f"L{layer}.fwd.attention",
+                profile.attention + tp_time / 4.0 + penalty / 2.0,
+                deps=[prev] if prev else [],
+            )
+            gate = graph.add_compute(f"L{layer}.fwd.gate", profile.gate, deps=[attn.task_id])
+            compute_total += attn.duration_s + gate.duration_s
+            a2a1_deps = [gate.task_id]
+            a2a1_allocation: Optional[CircuitAllocation] = None
+            exact_allocation: Optional[CircuitAllocation] = None
+            if controller is not None:
+                exact_allocation = allocation_for(layer)
+                if options.first_a2a_policy == "block":
+                    reconfig = graph.add_reconfig(
+                        f"L{layer}.fwd.reconfig1",
+                        delay,
+                        deps=[gate.task_id],
+                        on_complete=install_callback(exact_allocation),
+                    )
+                    controller.total_blocking_s += delay
+                    a2a1_deps.append(reconfig.task_id)
+                    a2a1_allocation = exact_allocation
+                elif options.first_a2a_policy == "copilot":
+                    predicted_allocation = allocation_for(layer, predicted=True)
+                    reconfig = graph.add_reconfig(
+                        f"L{layer}.fwd.reconfig1",
+                        delay,
+                        deps=[prev] if prev else [],
+                        on_complete=install_callback(predicted_allocation),
+                    )
+                    a2a1_deps.append(reconfig.task_id)
+                    a2a1_allocation = predicted_allocation
+                else:
+                    # "reuse": keep whatever circuits the previous layer used.
+                    a2a1_allocation = previous_exact
+            a2a1 = graph.add_comm(
+                f"L{layer}.fwd.a2a_dispatch",
+                ep_flows(matrix, transpose=False, allocation=a2a1_allocation),
+                deps=a2a1_deps,
+            )
+            experts = graph.add_compute(
+                f"L{layer}.fwd.experts",
+                profile.experts + tp_time / 4.0 + penalty / 2.0,
+                deps=[a2a1.task_id],
+            )
+            compute_total += experts.duration_s
+            a2a2_deps = [experts.task_id]
+            if controller is not None and options.first_a2a_policy in ("reuse", "copilot"):
+                recalibrate = graph.add_reconfig(
+                    f"L{layer}.fwd.reconfig2",
+                    delay,
+                    deps=[a2a1.task_id],
+                    on_complete=install_callback(exact_allocation),
+                )
+                a2a2_deps.append(recalibrate.task_id)
+            a2a2 = graph.add_comm(
+                f"L{layer}.fwd.a2a_combine",
+                ep_flows(matrix, transpose=True, allocation=exact_allocation),
+                deps=a2a2_deps,
+            )
+            norm = graph.add_compute(
+                f"L{layer}.fwd.add_norm", profile.add_norm, deps=[a2a2.task_id]
+            )
+            compute_total += norm.duration_s
+            prev = norm.task_id
+            previous_exact = exact_allocation
+
+        # ----------------------------------------------------------- backward
+        hide_anchor = prev
+        for layer in reversed(layers):
+            matrix = matrix_of(layer)
+            exact_allocation = allocation_for(layer) if controller is not None else None
+            norm_b = graph.add_compute(
+                f"L{layer}.bwd.add_norm",
+                profile.add_norm * 2.0,
+                deps=[prev] if prev else [],
+            )
+            compute_total += norm_b.duration_s
+            a2a1_deps = [norm_b.task_id]
+            if controller is not None:
+                reconfig_b = graph.add_reconfig(
+                    f"L{layer}.bwd.reconfig",
+                    delay,
+                    deps=[hide_anchor] if hide_anchor else [],
+                    on_complete=install_callback(exact_allocation),
+                )
+                a2a1_deps.append(reconfig_b.task_id)
+            a2a_b1 = graph.add_comm(
+                f"L{layer}.bwd.a2a_grad_combine",
+                ep_flows(matrix, transpose=True, allocation=exact_allocation),
+                deps=a2a1_deps,
+            )
+            experts_b = graph.add_compute(
+                f"L{layer}.bwd.experts",
+                (profile.experts + tp_time / 4.0 + penalty / 2.0) * 2.0,
+                deps=[a2a_b1.task_id],
+            )
+            compute_total += experts_b.duration_s
+            a2a_b2 = graph.add_comm(
+                f"L{layer}.bwd.a2a_grad_dispatch",
+                ep_flows(matrix, transpose=False, allocation=exact_allocation),
+                deps=[experts_b.task_id],
+            )
+            attn_b = graph.add_compute(
+                f"L{layer}.bwd.attention",
+                (profile.attention + profile.gate + tp_time / 4.0 + penalty / 2.0) * 2.0,
+                deps=[a2a_b2.task_id],
+            )
+            compute_total += attn_b.duration_s
+            # The next (earlier) layer's reconfiguration hides inside this
+            # layer's attention backward computation (Figure 20); anchoring it
+            # after this layer's last all-to-all also guarantees no circuits
+            # are swapped underneath an in-flight optical transfer.
+            hide_anchor = a2a_b2.task_id
+            prev = attn_b.task_id
+
+        return graph, compute_total
+
+    # ----------------------------------------------------------- deterministic
+    def _dp_allreduce_time(self) -> float:
+        """Hierarchical DP all-reduce over the EPS fabric, amortised.
+
+        ``dp_bytes_per_gpu`` already applies the ring factor ``2 (n-1)/n`` and
+        the gradient-accumulation amortisation, so the time is simply those
+        bytes over the per-GPU share of the server's EPS bandwidth.
+        """
+        wire_bytes = dp_bytes_per_gpu(
+            self.model, self.plan.dp, self.options.grad_accumulation_steps
+        )
+        if wire_bytes <= 0:
+            return 0.0
+        per_gpu_eps_bps = (
+            self.fabric.eps_bandwidth_per_server_gbps()
+            / self.cluster.gpus_per_server
+            * 1e9
+            / 8.0
+        )
+        return wire_bytes / per_gpu_eps_bps
+
+    def _pp_transfer_time(self, mbs: int) -> float:
+        if self.model.pp_degree <= 1:
+            return 0.0
+        bytes_per_boundary = activation_bytes(self.model) * mbs / self.model.micro_batch_size
+        bandwidth = self.fabric.eps_bandwidth_per_server_gbps() * 1e9 / 8.0
+        return bytes_per_boundary / bandwidth
+
+
+def simulate_fabrics(
+    model: MoEModelConfig,
+    fabrics: Sequence[Fabric],
+    options: Optional[RuntimeOptions] = None,
+    record: Optional[IterationRecord] = None,
+) -> Dict[str, IterationResult]:
+    """Simulate the same workload on several fabrics (Figure 12 style)."""
+    results: Dict[str, IterationResult] = {}
+    for fabric in fabrics:
+        simulator = TrainingSimulator(model, fabric.cluster, fabric, options=options)
+        results[fabric.name] = simulator.simulate_iteration(record=record)
+    return results
+
+
+def normalized_iteration_times(results: Dict[str, IterationResult],
+                               reference: str = "Fat-tree") -> Dict[str, float]:
+    """Normalize iteration times to a reference fabric (lower is better)."""
+    if reference not in results:
+        raise KeyError(f"reference fabric {reference!r} not in results")
+    base = results[reference].iteration_time_s
+    return {name: result.iteration_time_s / base for name, result in results.items()}

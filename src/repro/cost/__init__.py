@@ -1,0 +1,27 @@
+"""Networking cost model (Table 4, Figure 11, Figure 24)."""
+
+from repro.cost.components import (
+    COMPONENT_PRICES,
+    COST_BANDWIDTHS,
+    ComponentPrices,
+    LinkType,
+    prices_for_bandwidth,
+)
+from repro.cost.model import (
+    FABRIC_NAMES,
+    FIGURE11_CLUSTER_SIZES,
+    CostBreakdown,
+    NetworkingCostModel,
+)
+
+__all__ = [
+    "COMPONENT_PRICES",
+    "COST_BANDWIDTHS",
+    "ComponentPrices",
+    "LinkType",
+    "prices_for_bandwidth",
+    "FABRIC_NAMES",
+    "FIGURE11_CLUSTER_SIZES",
+    "CostBreakdown",
+    "NetworkingCostModel",
+]

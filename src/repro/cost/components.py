@@ -1,0 +1,84 @@
+"""Networking component prices (Table 4 and Appendix D.3).
+
+Prices follow the TopoOpt methodology reused by the paper: per-port list
+prices for electrical switches, OCS and patch panels, plus transceivers and
+NICs at each link bandwidth.  Appendix D.3 additionally considers short-reach
+Direct Attach Copper (DAC) and Active Optical Cable (AOC) options for the EPS
+links, which replace the two transceivers + fiber of a long-reach link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+
+class LinkType(str, Enum):
+    """Physical realisation of a point-to-point EPS link (Appendix D.3)."""
+
+    TRANSCEIVER_FIBER = "Transceiver-Fiber"
+    AOC_10M = "AOC-10m"
+    DAC_3M = "DAC-3m"
+
+
+@dataclass(frozen=True)
+class ComponentPrices:
+    """Per-component prices (USD) at one link bandwidth (one Table 4 row)."""
+
+    bandwidth_gbps: float
+    transceiver: float
+    nic: float
+    electrical_switch_port: float
+    ocs_port: float = 520.0
+    patch_panel_port: float = 100.0
+    fiber: float = 50.0
+    aoc_cable: float = 0.0
+    dac_cable: float = 0.0
+
+    def link_cost(self, link_type: LinkType) -> float:
+        """Cost of the cabling + optics of one point-to-point link."""
+        if link_type is LinkType.TRANSCEIVER_FIBER:
+            return 2.0 * self.transceiver + self.fiber
+        if link_type is LinkType.AOC_10M:
+            return self.aoc_cable
+        return self.dac_cable
+
+
+#: Table 4 rows, with AOC/DAC street prices for the Appendix D.3 comparison.
+COMPONENT_PRICES: Dict[int, ComponentPrices] = {
+    100: ComponentPrices(
+        bandwidth_gbps=100, transceiver=99.0, nic=659.0, electrical_switch_port=187.0,
+        aoc_cable=150.0, dac_cable=90.0,
+    ),
+    200: ComponentPrices(
+        bandwidth_gbps=200, transceiver=239.0, nic=1079.0, electrical_switch_port=374.0,
+        aoc_cable=330.0, dac_cable=180.0,
+    ),
+    400: ComponentPrices(
+        bandwidth_gbps=400, transceiver=659.0, nic=1499.0, electrical_switch_port=1090.0,
+        aoc_cable=850.0, dac_cable=420.0,
+    ),
+    800: ComponentPrices(
+        bandwidth_gbps=800, transceiver=1399.0, nic=2248.0, electrical_switch_port=1400.0,
+        aoc_cable=1750.0, dac_cable=900.0,
+    ),
+}
+
+#: Bandwidths covered by the paper's cost analysis (Figure 11).
+COST_BANDWIDTHS = (100, 200, 400, 800)
+
+
+def prices_for_bandwidth(bandwidth_gbps: float) -> ComponentPrices:
+    """Look up the Table 4 row for a link bandwidth.
+
+    Raises:
+        KeyError: If the bandwidth is not one of the studied rates.
+    """
+    key = int(round(bandwidth_gbps))
+    if key not in COMPONENT_PRICES:
+        raise KeyError(
+            f"no price data for {bandwidth_gbps} Gbps links; "
+            f"available: {sorted(COMPONENT_PRICES)}"
+        )
+    return COMPONENT_PRICES[key]

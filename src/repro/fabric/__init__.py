@@ -1,0 +1,52 @@
+"""Interconnect fabrics: electrical baselines, TopoOpt, MixNet and NVL72."""
+
+from repro.fabric.base import Fabric, Link, RegionNetwork
+from repro.fabric.electrical import FatTreeFabric, RailOptimizedFabric
+from repro.fabric.mixnet import MixNetFabric, MixNetRegionNetwork
+from repro.fabric.nvl72 import (
+    ScaleUpComparison,
+    ScaleUpConfig,
+    mixnet_optical_io_config,
+    nvl72_config,
+)
+from repro.fabric.ocs import (
+    DEFAULT_REGIONAL_OCS,
+    MEMS_3D_CALIENT,
+    OCS_CATALOGUE,
+    PIEZO_POLATIS,
+    PLZT,
+    ROBOTIC_PATCH_PANEL,
+    ROTORNET,
+    SILICON_PHOTONICS,
+    OCSTechnology,
+    OpticalCircuitSwitch,
+    select_technology,
+)
+from repro.fabric.topoopt import TopoOptFabric, degree_constrained_topology
+
+__all__ = [
+    "Fabric",
+    "Link",
+    "RegionNetwork",
+    "FatTreeFabric",
+    "RailOptimizedFabric",
+    "MixNetFabric",
+    "MixNetRegionNetwork",
+    "ScaleUpComparison",
+    "ScaleUpConfig",
+    "mixnet_optical_io_config",
+    "nvl72_config",
+    "DEFAULT_REGIONAL_OCS",
+    "MEMS_3D_CALIENT",
+    "OCS_CATALOGUE",
+    "PIEZO_POLATIS",
+    "PLZT",
+    "ROBOTIC_PATCH_PANEL",
+    "ROTORNET",
+    "SILICON_PHOTONICS",
+    "OCSTechnology",
+    "OpticalCircuitSwitch",
+    "select_technology",
+    "TopoOptFabric",
+    "degree_constrained_topology",
+]

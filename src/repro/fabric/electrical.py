@@ -1,0 +1,143 @@
+"""Electrical packet-switched fabrics: Fat-tree, oversubscribed Fat-tree and
+Rail-optimized.
+
+These are the static EPS baselines of §7.1.  The region view models each
+server's NIC bundle as an uplink/downlink pair into its ToR and the ToR's
+trunk into a non-blocking core layer; the over-subscription ratio divides the
+trunk capacity.  The rail-optimized fabric connects same-indexed NICs of all
+servers in a rail group to a dedicated rail switch, so regional traffic never
+crosses the core — which is why the paper finds it performs like a
+non-blocking Fat-tree for MoE training while costing the same.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.fabric.base import Fabric, RegionNetwork, add_intra_server_links
+
+
+class FatTreeFabric(Fabric):
+    """Clos/fat-tree EPS fabric.
+
+    Args:
+        cluster: Cluster specification (all NICs are attached to the EPS).
+        oversubscription: Core over-subscription ratio; ``1.0`` is the
+            non-blocking Fat-tree baseline and ``3.0`` the "OverSub. Fat-tree"
+            baseline of §7.1.
+        servers_per_tor: Servers attached to one leaf switch.  The default of
+            one server per leaf applies the over-subscription ratio to every
+            inter-server path, the standard leaf-spine simplification; larger
+            values confine the penalty to cross-rack pairs.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        oversubscription: float = 1.0,
+        servers_per_tor: int = 1,
+        name: str | None = None,
+    ) -> None:
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+        if servers_per_tor <= 0:
+            raise ValueError("servers_per_tor must be positive")
+        default_name = "Fat-tree" if oversubscription == 1.0 else "OverSub. Fat-tree"
+        super().__init__(cluster, name or default_name)
+        self.oversubscription = oversubscription
+        self.servers_per_tor = servers_per_tor
+
+    def tor_of_server(self, server: int) -> int:
+        return server // self.servers_per_tor
+
+    def build_region(self, servers: Sequence[int]) -> RegionNetwork:
+        network = RegionNetwork(servers=list(servers))
+        spec = self.cluster.server
+        add_intra_server_links(network, servers, spec.nvswitch_bandwidth_gbps)
+
+        server_uplink = spec.num_nics * spec.nic_bandwidth_gbps
+        tor_trunk = self.servers_per_tor * server_uplink / self.oversubscription
+        tors = sorted({self.tor_of_server(s) for s in servers})
+        for server in servers:
+            network.add_link(f"up:s{server}", server_uplink)
+            network.add_link(f"down:s{server}", server_uplink)
+        for tor in tors:
+            network.add_link(f"core:t{tor}:up", tor_trunk)
+            network.add_link(f"core:t{tor}:down", tor_trunk)
+
+        for src in servers:
+            for dst in servers:
+                if src == dst:
+                    continue
+                path = self._path(src, dst)
+                network.ep_paths[(src, dst)] = path
+                network.eps_paths[(src, dst)] = path
+        network.validate()
+        return network
+
+    def _path(self, src: int, dst: int) -> List[str]:
+        src_tor = self.tor_of_server(src)
+        dst_tor = self.tor_of_server(dst)
+        path = [f"nvs:s{src}", f"up:s{src}"]
+        if src_tor != dst_tor:
+            path += [f"core:t{src_tor}:up", f"core:t{dst_tor}:down"]
+        path += [f"down:s{dst}", f"nvs:s{dst}"]
+        return path
+
+
+class RailOptimizedFabric(Fabric):
+    """Nvidia rail-optimized fabric.
+
+    GPUs (NICs) of the same local rank across servers attach to the same rail
+    switch.  Traffic between servers of the same rail group traverses exactly
+    one switch on every rail; cross-group traffic additionally crosses the
+    spine.  Regional MoE domains fit inside one rail group, so the region view
+    is a full-bandwidth single-hop fabric.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        servers_per_rail_group: int = 32,
+        name: str = "Rail-optimized",
+    ) -> None:
+        if servers_per_rail_group <= 0:
+            raise ValueError("servers_per_rail_group must be positive")
+        super().__init__(cluster, name)
+        self.servers_per_rail_group = servers_per_rail_group
+
+    def rail_group_of_server(self, server: int) -> int:
+        return server // self.servers_per_rail_group
+
+    def build_region(self, servers: Sequence[int]) -> RegionNetwork:
+        network = RegionNetwork(servers=list(servers))
+        spec = self.cluster.server
+        add_intra_server_links(network, servers, spec.nvswitch_bandwidth_gbps)
+
+        server_uplink = spec.num_nics * spec.nic_bandwidth_gbps
+        groups = sorted({self.rail_group_of_server(s) for s in servers})
+        for server in servers:
+            network.add_link(f"up:s{server}", server_uplink)
+            network.add_link(f"down:s{server}", server_uplink)
+        # Spine trunks only matter when a region spans rail groups.
+        spine_trunk = self.servers_per_rail_group * server_uplink
+        for group in groups:
+            network.add_link(f"core:t{group}:up", spine_trunk)
+            network.add_link(f"core:t{group}:down", spine_trunk)
+
+        for src in servers:
+            for dst in servers:
+                if src == dst:
+                    continue
+                path = [f"nvs:s{src}", f"up:s{src}"]
+                if self.rail_group_of_server(src) != self.rail_group_of_server(dst):
+                    path += [
+                        f"core:t{self.rail_group_of_server(src)}:up",
+                        f"core:t{self.rail_group_of_server(dst)}:down",
+                    ]
+                path += [f"down:s{dst}", f"nvs:s{dst}"]
+                network.ep_paths[(src, dst)] = path
+                network.eps_paths[(src, dst)] = path
+        network.validate()
+        return network

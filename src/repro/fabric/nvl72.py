@@ -1,0 +1,151 @@
+"""High-radix scale-up domains: NVL72 versus MixNet with co-packaged optics.
+
+Reproduces the look-ahead study of §8 (Figure 16): a 2048-GPU cluster of
+NVL72-class scale-up domains training DeepSeek-V3, comparing
+
+* **NVL72**: all intra-domain traffic on copper NVLink (7.2 Tbps per GPU),
+  all cross-domain traffic on the 800 Gbps Ethernet scale-out NIC;
+* **MixNet (w/ optical I/O)**: the same total GPU I/O budget, with the
+  non-Ethernet bandwidth split evenly between NVLink and a regional OCS whose
+  circuits are steered to the heavy cross-domain expert pairs.
+
+The model is analytic: expert-parallel all-to-all volume is split into the
+intra-domain and cross-domain shares implied by the EP degree and domain size,
+and each share is timed against the fabric that carries it.  Compute time per
+block comes from the analytic profiler so that the resulting iteration-time
+ratio (≈1.3x at 8 Tbps) reflects a realistic communication/computation mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cluster.spec import GB200, GPUSpec
+from repro.moe.models import DEEPSEEK_V3, MoEModelConfig
+from repro.moe.profile import ComputeProfiler
+
+
+TBPS_TO_BYTES_PER_S = 1e12 / 8.0
+GBPS_TO_BYTES_PER_S = 1e9 / 8.0
+
+
+@dataclass(frozen=True)
+class ScaleUpConfig:
+    """One scale-up design point in the Figure 16 comparison."""
+
+    name: str
+    total_gpu_io_tbps: float
+    ethernet_gbps: float = 800.0
+    domain_size: int = 64
+    #: Fraction of the non-Ethernet I/O budget assigned to the regional OCS
+    #: (0 for plain NVL72, 0.5 for MixNet with optical I/O).
+    optical_share: float = 0.0
+
+    @property
+    def non_ethernet_tbps(self) -> float:
+        return self.total_gpu_io_tbps - self.ethernet_gbps / 1000.0
+
+    @property
+    def nvlink_tbps(self) -> float:
+        return self.non_ethernet_tbps * (1.0 - self.optical_share)
+
+    @property
+    def optical_tbps(self) -> float:
+        return self.non_ethernet_tbps * self.optical_share
+
+
+def nvl72_config(total_gpu_io_tbps: float = 8.0) -> ScaleUpConfig:
+    return ScaleUpConfig(name="NVL72", total_gpu_io_tbps=total_gpu_io_tbps, optical_share=0.0)
+
+
+def mixnet_optical_io_config(total_gpu_io_tbps: float = 8.0) -> ScaleUpConfig:
+    return ScaleUpConfig(
+        name="MixNet (w/ optical I/O)",
+        total_gpu_io_tbps=total_gpu_io_tbps,
+        optical_share=0.5,
+    )
+
+
+class ScaleUpComparison:
+    """Iteration-time model for high-radix scale-up fabrics (§8)."""
+
+    def __init__(
+        self,
+        model: MoEModelConfig = DEEPSEEK_V3,
+        gpu: GPUSpec = GB200,
+        ep_degree: int | None = None,
+    ) -> None:
+        self.model = model
+        self.gpu = gpu
+        self.ep_degree = ep_degree if ep_degree is not None else model.ep_degree
+        if self.ep_degree <= 0:
+            raise ValueError("ep_degree must be positive")
+        # At the very large micro-batch size of the §8 study the per-expert
+        # GEMMs are big enough to run near peak utilisation, unlike the small
+        # micro-batch production setting profiled in Figure 3.
+        self._profiler = ComputeProfiler(
+            gpu=gpu, efficiency={"experts": 0.40, "attention": 0.35}
+        )
+
+    # -------------------------------------------------------------- volumes
+    def dispatch_bytes_per_gpu(self) -> float:
+        """Bytes one GPU dispatches in a single all-to-all phase."""
+        model = self.model
+        return (
+            model.tokens_per_micro_batch
+            * model.top_k
+            * model.hidden_size
+            * 2
+            / model.tp_degree
+        )
+
+    def traffic_split(self, domain_size: int) -> Dict[str, float]:
+        """Intra-domain vs cross-domain share of the all-to-all volume."""
+        ep = self.ep_degree
+        intra_peers = min(domain_size, ep)
+        intra_fraction = intra_peers / ep
+        return {"intra": intra_fraction, "cross": 1.0 - intra_fraction}
+
+    # ----------------------------------------------------------------- timing
+    def all_to_all_time(self, config: ScaleUpConfig) -> float:
+        """Duration of one all-to-all phase under ``config`` (seconds)."""
+        split = self.traffic_split(config.domain_size)
+        dispatch = self.dispatch_bytes_per_gpu()
+        intra_bytes = dispatch * split["intra"]
+        cross_bytes = dispatch * split["cross"]
+
+        nvlink_bw = config.nvlink_tbps * TBPS_TO_BYTES_PER_S
+        intra_time = intra_bytes / nvlink_bw if nvlink_bw > 0 else float("inf")
+        if config.optical_tbps > 0:
+            cross_bw = config.optical_tbps * TBPS_TO_BYTES_PER_S
+        else:
+            cross_bw = config.ethernet_gbps * GBPS_TO_BYTES_PER_S
+        cross_time = cross_bytes / cross_bw if cross_bytes > 0 else 0.0
+        return max(intra_time, cross_time)
+
+    def block_time(self, config: ScaleUpConfig) -> float:
+        """Forward+backward time of one MoE block (compute + 4 all-to-alls)."""
+        profile = self._profiler.block_profile(self.model)
+        compute = profile.forward_compute + profile.backward_compute
+        return compute + 4.0 * self.all_to_all_time(config)
+
+    def iteration_time(self, config: ScaleUpConfig) -> float:
+        """Per-iteration time for one pipeline stage's blocks."""
+        blocks = self.model.blocks_per_pp_stage
+        micro_batches = self.model.pp_degree
+        return blocks * self.block_time(config) * micro_batches
+
+    def compare(self, total_gpu_io_tbps: float = 8.0) -> Dict[str, float]:
+        """Normalized iteration time of both designs at a given I/O budget.
+
+        Returns a mapping ``{design name: normalized iteration time}`` where
+        NVL72 is normalised to 1.0 (Figure 16's presentation).
+        """
+        nvl = self.iteration_time(nvl72_config(total_gpu_io_tbps))
+        mix = self.iteration_time(mixnet_optical_io_config(total_gpu_io_tbps))
+        return {
+            "NVL72": 1.0,
+            "MixNet (w/ optical I/O)": mix / nvl,
+            "speedup": nvl / mix,
+        }

@@ -1,0 +1,169 @@
+"""Optical circuit switching devices.
+
+Contains the commodity OCS technology catalogue of Table 2 (port count vs.
+reconfiguration delay trade-off) and a behavioural
+:class:`OpticalCircuitSwitch` model that tracks which circuits are established
+and charges the device's reconfiguration delay whenever the mapping changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class OCSTechnology:
+    """One row of Table 2.
+
+    Attributes:
+        name: Technology / vendor name.
+        port_count: Radix (duplex ports).
+        reconfiguration_delay_s: Typical switching time in seconds.
+        per_port_cost_usd: List price per port (Table 4 / TopoOpt methodology).
+    """
+
+    name: str
+    port_count: int
+    reconfiguration_delay_s: float
+    per_port_cost_usd: float = 520.0
+
+    def supports_radix(self, ports_needed: int) -> bool:
+        return ports_needed <= self.port_count
+
+
+#: Commodity OCS technologies (Table 2).
+ROBOTIC_PATCH_PANEL = OCSTechnology("Robotic (Telescent)", 1008, 120.0, per_port_cost_usd=100.0)
+PIEZO_POLATIS = OCSTechnology("Piezo (Polatis)", 576, 0.025)
+MEMS_3D_CALIENT = OCSTechnology("3D MEMS (Calient)", 320, 0.015)
+MEMS_2D_PALOMAR = OCSTechnology("2D MEMS (Google Palomar)", 136, 0.010)
+ROTORNET = OCSTechnology("RotorNet (InFocus)", 128, 10e-6)
+SILICON_PHOTONICS = OCSTechnology("Silicon Photonics (Lightmatter)", 32, 7e-6)
+PLZT = OCSTechnology("PLZT (EpiPhotonics)", 16, 10e-9)
+
+OCS_CATALOGUE: List[OCSTechnology] = [
+    ROBOTIC_PATCH_PANEL,
+    PIEZO_POLATIS,
+    MEMS_3D_CALIENT,
+    MEMS_2D_PALOMAR,
+    ROTORNET,
+    SILICON_PHOTONICS,
+    PLZT,
+]
+
+#: The default device MixNet assumes for its regional domains (§7.1 uses a
+#: 25 ms blocking reconfiguration budget, matching the Polatis-class piezo OCS).
+DEFAULT_REGIONAL_OCS = PIEZO_POLATIS
+
+
+def select_technology(
+    ports_needed: int, max_delay_s: Optional[float] = None
+) -> OCSTechnology:
+    """Pick the fastest catalogue OCS that offers at least ``ports_needed`` ports.
+
+    Args:
+        ports_needed: Number of duplex ports required.
+        max_delay_s: Optional upper bound on acceptable reconfiguration delay.
+
+    Raises:
+        ValueError: If no catalogue device satisfies the constraints — this is
+            exactly the port-count/agility trade-off motivating regional OCS.
+    """
+    candidates = [
+        tech
+        for tech in OCS_CATALOGUE
+        if tech.supports_radix(ports_needed)
+        and (max_delay_s is None or tech.reconfiguration_delay_s <= max_delay_s)
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no commodity OCS offers {ports_needed} ports"
+            + (f" within {max_delay_s}s reconfiguration" if max_delay_s else "")
+        )
+    return min(candidates, key=lambda tech: tech.reconfiguration_delay_s)
+
+
+@dataclass
+class OpticalCircuitSwitch:
+    """Behavioural model of one regional OCS slice.
+
+    Ports are identified by ``(server_id, nic_index)`` tuples.  A *circuit*
+    connects one TX port to one RX port; because the paper provisions TX and RX
+    together (Algorithm 1, step 1) we track undirected server-pair circuit
+    counts and the NIC-level mapping separately.
+
+    Attributes:
+        technology: The OCS device type (delay, radix).
+        num_ports: Ports in this slice (must not exceed the device radix).
+    """
+
+    technology: OCSTechnology = DEFAULT_REGIONAL_OCS
+    num_ports: int = 64
+    _circuits: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    _nic_mapping: List[Tuple[Tuple[int, int], Tuple[int, int]]] = field(default_factory=list)
+    reconfiguration_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_ports <= 0:
+            raise ValueError("num_ports must be positive")
+        if not self.technology.supports_radix(self.num_ports):
+            raise ValueError(
+                f"{self.technology.name} supports {self.technology.port_count} ports, "
+                f"requested {self.num_ports}"
+            )
+
+    @property
+    def reconfiguration_delay_s(self) -> float:
+        return self.technology.reconfiguration_delay_s
+
+    @property
+    def circuits(self) -> Dict[Tuple[int, int], int]:
+        """Current circuit count per unordered server pair."""
+        return dict(self._circuits)
+
+    @property
+    def nic_mapping(self) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+        """Current NIC-level TX/RX port pairs."""
+        return list(self._nic_mapping)
+
+    def circuit_count(self, server_a: int, server_b: int) -> int:
+        return self._circuits.get(self._key(server_a, server_b), 0)
+
+    def ports_in_use(self) -> int:
+        return 2 * sum(self._circuits.values())
+
+    def reconfigure(
+        self,
+        circuits: Dict[Tuple[int, int], int],
+        nic_mapping: Optional[List[Tuple[Tuple[int, int], Tuple[int, int]]]] = None,
+    ) -> float:
+        """Install a new circuit mapping and return the delay it costs.
+
+        Only the *changed* circuits matter physically, but commodity devices
+        reconfigure the affected cross-connects in one batch, so the full
+        device delay is charged whenever anything changes; an identical
+        mapping costs nothing.
+        """
+        normalized = {
+            self._key(a, b): count for (a, b), count in circuits.items() if count > 0
+        }
+        for (a, b), count in normalized.items():
+            if a == b:
+                raise ValueError("circuits must connect distinct servers")
+            if count < 0:
+                raise ValueError("circuit counts must be non-negative")
+        ports_needed = 2 * sum(normalized.values())
+        if ports_needed > self.num_ports:
+            raise ValueError(
+                f"mapping needs {ports_needed} ports but the slice has {self.num_ports}"
+            )
+        if normalized == self._circuits:
+            return 0.0
+        self._circuits = normalized
+        self._nic_mapping = list(nic_mapping or [])
+        self.reconfiguration_count += 1
+        return self.reconfiguration_delay_s
+
+    @staticmethod
+    def _key(server_a: int, server_b: int) -> Tuple[int, int]:
+        return (server_a, server_b) if server_a <= server_b else (server_b, server_a)

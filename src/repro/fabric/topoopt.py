@@ -1,0 +1,178 @@
+"""TopoOpt baseline: one-shot optically reconfigured direct-connect topology.
+
+TopoOpt (NSDI'23) co-optimises parallelisation and topology *before* training
+starts and then keeps the topology fixed.  All NICs attach to an optical patch
+panel; servers are wired into a degree-constrained direct-connect graph chosen
+for the job's aggregate (average) traffic demand.  Because the topology cannot
+follow the per-iteration variation of MoE all-to-all traffic, heavy pairs that
+were cold in the average demand end up on multi-hop paths — this is exactly
+the weakness MixNet's runtime reconfiguration removes (§7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.fabric.base import Fabric, RegionNetwork, add_intra_server_links
+
+
+def degree_constrained_topology(
+    demand: np.ndarray,
+    degree: int,
+    servers: Sequence[int],
+) -> Dict[Tuple[int, int], int]:
+    """Build a static degree-constrained direct-connect topology.
+
+    A connectivity ring is laid down first (TopoOpt always guarantees a
+    Hamiltonian cycle for all-reduce traffic), then the remaining NIC budget is
+    assigned greedily to the server pairs with the largest aggregate demand —
+    the same bottleneck-first intuition as MixNet's Algorithm 1, but applied
+    once to the *average* demand.
+
+    Args:
+        demand: Aggregate demand matrix indexed positionally over ``servers``.
+        degree: NICs per server available for direct links.
+        servers: Server ids (defines the matrix ordering).
+
+    Returns:
+        Mapping from unordered server-id pairs to link counts.
+    """
+    n = len(servers)
+    if demand.shape != (n, n):
+        raise ValueError(f"demand must be {n}x{n}, got {demand.shape}")
+    if degree < 2 and n > 2:
+        raise ValueError("degree must be at least 2 to form a connected ring")
+    links: Dict[Tuple[int, int], int] = {}
+    remaining = {s: degree for s in servers}
+
+    def key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    # Step 1: connectivity ring.
+    if n > 1:
+        for i in range(n):
+            a, b = servers[i], servers[(i + 1) % n]
+            if n == 2 and i == 1:
+                break
+            links[key(a, b)] = links.get(key(a, b), 0) + 1
+            remaining[a] -= 1
+            remaining[b] -= 1
+
+    # Step 2: greedy allocation of the rest by average demand.
+    symmetric = demand + demand.T
+    pairs = [
+        (symmetric[i, j], servers[i], servers[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    pairs.sort(key=lambda item: item[0], reverse=True)
+    progress = True
+    while progress:
+        progress = False
+        for _, a, b in pairs:
+            if remaining[a] > 0 and remaining[b] > 0:
+                links[key(a, b)] = links.get(key(a, b), 0) + 1
+                remaining[a] -= 1
+                remaining[b] -= 1
+                progress = True
+    return links
+
+
+class TopoOptFabric(Fabric):
+    """Static direct-connect optical topology (TopoOpt).
+
+    Args:
+        cluster: Cluster specification; all NICs attach to the patch panel.
+        reserved_global_links: NICs per server that TopoOpt's job-wide
+            topology spends on connectivity *outside* the regional EP group —
+            the all-reduce ring and pipeline neighbours of the co-optimised
+            parallelisation — and that are therefore unavailable for regional
+            all-to-all pairs.  The paper's TopoOpt baseline wires all NICs
+            into one flat patch panel spanning the whole job, so only part of
+            the degree lands inside any one EP group.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        reserved_global_links: int = 4,
+        name: str = "TopoOpt",
+    ) -> None:
+        super().__init__(cluster, name)
+        if not 0 <= reserved_global_links < cluster.server.num_nics:
+            raise ValueError("reserved_global_links must leave at least one regional NIC")
+        self.reserved_global_links = reserved_global_links
+
+    def build_region(
+        self,
+        servers: Sequence[int],
+        demand_hint: Optional[np.ndarray] = None,
+    ) -> RegionNetwork:
+        servers = list(servers)
+        n = len(servers)
+        network = RegionNetwork(servers=servers)
+        spec = self.cluster.server
+        add_intra_server_links(network, servers, spec.nvswitch_bandwidth_gbps)
+
+        demand = (
+            np.asarray(demand_hint, dtype=float)
+            if demand_hint is not None
+            else np.ones((n, n)) - np.eye(n)
+        )
+        degree = max(2, spec.num_nics - self.reserved_global_links)
+        topology = degree_constrained_topology(demand, degree, servers)
+        adjacency: Dict[int, Dict[int, int]] = {s: {} for s in servers}
+        for (a, b), count in topology.items():
+            capacity = count * spec.nic_bandwidth_gbps
+            network.add_link(f"direct:s{a}->s{b}", capacity, latency_s=5e-7)
+            network.add_link(f"direct:s{b}->s{a}", capacity, latency_s=5e-7)
+            adjacency[a][b] = count
+            adjacency[b][a] = count
+
+        paths = _all_pairs_shortest_paths(servers, adjacency)
+        for (src, dst), hop_servers in paths.items():
+            path = [f"nvs:s{src}"]
+            for a, b in zip(hop_servers[:-1], hop_servers[1:]):
+                path.append(f"direct:s{a}->s{b}")
+                if b != dst:
+                    path.append(f"nvs:s{b}")
+            path.append(f"nvs:s{dst}")
+            network.ep_paths[(src, dst)] = path
+            network.eps_paths[(src, dst)] = list(path)
+        network.validate()
+        return network
+
+
+def _all_pairs_shortest_paths(
+    servers: Sequence[int], adjacency: Dict[int, Dict[int, int]]
+) -> Dict[Tuple[int, int], List[int]]:
+    """BFS shortest paths (in hops) over the direct-connect graph."""
+    from collections import deque
+
+    result: Dict[Tuple[int, int], List[int]] = {}
+    for src in servers:
+        parents: Dict[int, int] = {src: src}
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for neighbor in adjacency[node]:
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    queue.append(neighbor)
+        for dst in servers:
+            if dst == src:
+                continue
+            if dst not in parents:
+                raise ValueError(
+                    f"direct-connect topology is disconnected: no path {src}->{dst}"
+                )
+            hops = [dst]
+            node = dst
+            while node != src:
+                node = parents[node]
+                hops.append(node)
+            result[(src, dst)] = list(reversed(hops))
+    return result

@@ -1,0 +1,64 @@
+"""MoE workload substrate: model zoo, parallelism planning, synthetic gate,
+traffic characterisation and analytic compute profiling."""
+
+from repro.moe.gate import GateDynamicsConfig, GateSimulator, expert_load_variability
+from repro.moe.models import (
+    DEEPSEEK_R1,
+    DEEPSEEK_V3,
+    LLAMA_MOE,
+    MIXTRAL_8x7B,
+    MIXTRAL_8x22B,
+    MODEL_ZOO,
+    QWEN_MOE,
+    QWEN_MOE_EP32,
+    SIMULATED_MODELS,
+    TABLE1_MODELS,
+    MoEModelConfig,
+    get_model,
+)
+from repro.moe.parallelism import ParallelismPlan, minimal_world_size, plan_for_cluster
+from repro.moe.profile import (
+    BlockProfile,
+    ComputeProfiler,
+    all_to_all_phase_time,
+)
+from repro.moe.trace import IterationRecord, TrainingTrace, generate_trace
+from repro.moe.traffic import (
+    PARALLELISMS,
+    TrafficBreakdown,
+    gpu_traffic_matrix,
+    server_traffic_matrix,
+    traffic_breakdown,
+)
+
+__all__ = [
+    "DEEPSEEK_R1",
+    "DEEPSEEK_V3",
+    "LLAMA_MOE",
+    "MIXTRAL_8x7B",
+    "MIXTRAL_8x22B",
+    "MODEL_ZOO",
+    "QWEN_MOE",
+    "QWEN_MOE_EP32",
+    "SIMULATED_MODELS",
+    "TABLE1_MODELS",
+    "MoEModelConfig",
+    "get_model",
+    "GateDynamicsConfig",
+    "GateSimulator",
+    "expert_load_variability",
+    "ParallelismPlan",
+    "minimal_world_size",
+    "plan_for_cluster",
+    "BlockProfile",
+    "ComputeProfiler",
+    "all_to_all_phase_time",
+    "IterationRecord",
+    "TrainingTrace",
+    "generate_trace",
+    "PARALLELISMS",
+    "TrafficBreakdown",
+    "gpu_traffic_matrix",
+    "server_traffic_matrix",
+    "traffic_breakdown",
+]

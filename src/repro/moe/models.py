@@ -1,0 +1,272 @@
+"""MoE model zoo.
+
+Model configurations for the MoE models used throughout the paper
+(Table 1 and Appendix D.1): Mixtral 8x7B, Mixtral 8x22B, LLaMA-MoE,
+Qwen-MoE, DeepSeek-R1 and DeepSeek-V3.
+
+The configuration captures everything the traffic model and the analytic
+compute profiler need: transformer dimensions, the number of experts and the
+top-k routing fan-out, plus the default hybrid-parallelism degrees the paper
+trains each model with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+
+# Bytes per element for mixed-precision (BF16) activations and gradients.
+BYTES_PER_ELEMENT = 2
+
+
+@dataclass(frozen=True)
+class MoEModelConfig:
+    """Architecture and training configuration of one MoE model.
+
+    Attributes:
+        name: Human-readable model name.
+        num_moe_blocks: Number of sequential MoE blocks (transformer layers
+            with an expert FFN).
+        num_experts: Experts per MoE block.
+        top_k: Experts activated per token by the gate.
+        hidden_size: Transformer hidden dimension.
+        expert_ffn_hidden_size: Intermediate dimension of one expert's FFN.
+        num_attention_heads: Attention heads (used for the compute model only).
+        seq_len: Training sequence length.
+        micro_batch_size: Sequences per micro-batch.
+        ep_degree: Expert-parallel degree (GPUs sharing one MoE block's experts).
+        tp_degree: Tensor-parallel degree.
+        pp_degree: Pipeline-parallel degree.
+        total_params_b: Total parameter count in billions (for documentation).
+        active_params_b: Activated parameter count in billions.
+    """
+
+    name: str
+    num_moe_blocks: int
+    num_experts: int
+    top_k: int
+    hidden_size: int
+    expert_ffn_hidden_size: int
+    num_attention_heads: int
+    seq_len: int = 4096
+    micro_batch_size: int = 8
+    ep_degree: int = 8
+    tp_degree: int = 1
+    pp_degree: int = 4
+    total_params_b: float = 0.0
+    active_params_b: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_experts <= 0:
+            raise ValueError("num_experts must be positive")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+        if self.ep_degree <= 0 or self.num_experts % self.ep_degree != 0:
+            raise ValueError(
+                f"ep_degree {self.ep_degree} must evenly divide "
+                f"num_experts {self.num_experts}"
+            )
+        for field_name in ("num_moe_blocks", "hidden_size", "expert_ffn_hidden_size",
+                           "num_attention_heads", "seq_len", "micro_batch_size",
+                           "tp_degree", "pp_degree"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def experts_per_ep_rank(self) -> int:
+        """Experts hosted by one expert-parallel rank."""
+        return self.num_experts // self.ep_degree
+
+    @property
+    def tokens_per_micro_batch(self) -> int:
+        return self.seq_len * self.micro_batch_size
+
+    @property
+    def token_hidden_bytes(self) -> int:
+        """Size of one token's hidden-state vector on the wire."""
+        return self.hidden_size * BYTES_PER_ELEMENT
+
+    @property
+    def blocks_per_pp_stage(self) -> int:
+        """MoE blocks hosted by one pipeline stage (rounded up)."""
+        return max(1, (self.num_moe_blocks + self.pp_degree - 1) // self.pp_degree)
+
+    # -------------------------------------------------------------- param math
+    def attention_params(self) -> int:
+        """Parameters of one attention layer (QKV + output projection)."""
+        return 4 * self.hidden_size * self.hidden_size
+
+    def expert_params(self) -> int:
+        """Parameters of a single expert FFN (gated MLP: 3 projections)."""
+        return 3 * self.hidden_size * self.expert_ffn_hidden_size
+
+    def block_params(self) -> int:
+        """Parameters of one MoE block (attention + all experts + gate)."""
+        gate = self.hidden_size * self.num_experts
+        return self.attention_params() + self.num_experts * self.expert_params() + gate
+
+    def dense_equivalent_params(self) -> int:
+        """Parameters touched per token (attention + top-k experts)."""
+        return (
+            self.attention_params()
+            + self.top_k * self.expert_params()
+            + self.hidden_size * self.num_experts
+        )
+
+    def with_overrides(self, **kwargs: object) -> "MoEModelConfig":
+        """Return a copy with selected fields replaced (e.g. micro_batch_size)."""
+        return replace(self, **kwargs)
+
+
+# --------------------------------------------------------------------------- zoo
+MIXTRAL_8x7B = MoEModelConfig(
+    name="Mixtral-8x7B",
+    num_moe_blocks=32,
+    num_experts=8,
+    top_k=2,
+    hidden_size=4096,
+    expert_ffn_hidden_size=14336,
+    num_attention_heads=32,
+    seq_len=4096,
+    micro_batch_size=8,
+    ep_degree=8,
+    tp_degree=4,
+    pp_degree=4,
+    total_params_b=46.7,
+    active_params_b=12.9,
+)
+
+MIXTRAL_8x22B = MoEModelConfig(
+    name="Mixtral-8x22B",
+    num_moe_blocks=56,
+    num_experts=8,
+    top_k=2,
+    hidden_size=6144,
+    expert_ffn_hidden_size=16384,
+    num_attention_heads=48,
+    seq_len=4096,
+    micro_batch_size=8,
+    ep_degree=8,
+    tp_degree=8,
+    pp_degree=8,
+    total_params_b=141.0,
+    active_params_b=39.0,
+)
+
+LLAMA_MOE = MoEModelConfig(
+    name="LLaMA-MoE",
+    num_moe_blocks=32,
+    num_experts=16,
+    top_k=4,
+    hidden_size=4096,
+    expert_ffn_hidden_size=688,
+    num_attention_heads=32,
+    seq_len=4096,
+    micro_batch_size=8,
+    ep_degree=16,
+    tp_degree=1,
+    pp_degree=4,
+    total_params_b=6.7,
+    active_params_b=3.5,
+)
+
+QWEN_MOE = MoEModelConfig(
+    name="Qwen-MoE",
+    num_moe_blocks=24,
+    num_experts=64,
+    top_k=8,
+    hidden_size=2048,
+    expert_ffn_hidden_size=1408,
+    num_attention_heads=16,
+    seq_len=4096,
+    micro_batch_size=8,
+    ep_degree=16,
+    tp_degree=1,
+    pp_degree=4,
+    total_params_b=14.3,
+    active_params_b=2.7,
+)
+
+#: Qwen-MoE at the 32-way EP used in the §7.3 large-scale simulations.
+QWEN_MOE_EP32 = QWEN_MOE.with_overrides(ep_degree=32)
+
+DEEPSEEK_R1 = MoEModelConfig(
+    name="DeepSeek-R1",
+    num_moe_blocks=61,
+    num_experts=256,
+    top_k=8,
+    hidden_size=7168,
+    expert_ffn_hidden_size=2048,
+    num_attention_heads=128,
+    seq_len=4096,
+    micro_batch_size=8,
+    ep_degree=64,
+    tp_degree=1,
+    pp_degree=16,
+    total_params_b=671.0,
+    active_params_b=37.0,
+)
+
+DEEPSEEK_V3 = MoEModelConfig(
+    name="DeepSeek-V3",
+    num_moe_blocks=61,
+    num_experts=256,
+    top_k=8,
+    hidden_size=7168,
+    expert_ffn_hidden_size=2048,
+    num_attention_heads=128,
+    seq_len=4096,
+    micro_batch_size=240,
+    ep_degree=128,
+    tp_degree=1,
+    pp_degree=16,
+    total_params_b=671.0,
+    active_params_b=37.0,
+)
+
+
+MODEL_ZOO: Dict[str, MoEModelConfig] = {
+    m.name: m
+    for m in (
+        MIXTRAL_8x7B,
+        MIXTRAL_8x22B,
+        LLAMA_MOE,
+        QWEN_MOE,
+        DEEPSEEK_R1,
+        DEEPSEEK_V3,
+    )
+}
+
+#: The three models profiled in Table 1 / Figure 2.
+TABLE1_MODELS: List[MoEModelConfig] = [MIXTRAL_8x7B, LLAMA_MOE, QWEN_MOE]
+
+#: The four models simulated at scale in §7.3 (Figure 12).
+SIMULATED_MODELS: List[MoEModelConfig] = [
+    MIXTRAL_8x22B,
+    MIXTRAL_8x7B,
+    QWEN_MOE_EP32,
+    DEEPSEEK_R1,
+]
+
+
+def get_model(name: str) -> MoEModelConfig:
+    """Look up a model by name, accepting a few loose spellings."""
+    normalized = name.strip().lower().replace(" ", "-").replace("_", "-")
+    for key, model in MODEL_ZOO.items():
+        if key.lower() == normalized:
+            return model
+    aliases = {
+        "mixtral": MIXTRAL_8x7B,
+        "mixtral-8x7b": MIXTRAL_8x7B,
+        "mixtral-8x22b": MIXTRAL_8x22B,
+        "llama-moe": LLAMA_MOE,
+        "qwen-moe": QWEN_MOE,
+        "qwen1.5-moe": QWEN_MOE,
+        "deepseek-r1": DEEPSEEK_R1,
+        "deepseek-v3": DEEPSEEK_V3,
+    }
+    if normalized in aliases:
+        return aliases[normalized]
+    raise KeyError(f"unknown MoE model {name!r}; known: {sorted(MODEL_ZOO)}")

@@ -1,0 +1,214 @@
+"""Analytic compute profiler.
+
+Substitute for the paper's Megatron-LM/FlexFlow profiler (§7.1): per-phase
+compute durations of one MoE block are derived from a FLOPs model with
+per-phase efficiency factors calibrated so that the Mixtral 8x7B timeline of
+Figure 3 is reproduced in shape — in particular, expert computation at
+micro-batch size 8 takes well over 100 ms on an H800-class GPU, which is the
+property that lets MixNet hide millisecond-scale OCS reconfiguration inside
+the computation phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cluster.spec import GPUSpec, H800
+from repro.moe.models import MoEModelConfig
+
+#: The six phases of an MoE block's forward pass, in execution order
+#: (Figure 3).  The two all-to-all phases are communication and therefore
+#: timed by the network simulator; the profiler reports them as zero.
+FORWARD_PHASES = (
+    "attention",
+    "gate",
+    "all_to_all_dispatch",
+    "experts",
+    "all_to_all_combine",
+    "add_norm",
+)
+
+#: Effective fraction of peak FLOPs achieved by each compute phase.  Expert
+#: computation with small per-expert token batches is heavily memory-bound in
+#: production (grouped GEMMs, permutation overheads), hence the low factor.
+DEFAULT_EFFICIENCY: Dict[str, float] = {
+    "attention": 0.10,
+    "gate": 0.02,
+    "experts": 0.055,
+    "add_norm": 0.02,
+}
+
+#: Backward passes re-materialise activations and compute two matmuls per
+#: forward matmul; production measurements put the ratio close to 2x.
+BACKWARD_COMPUTE_RATIO = 2.0
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """Durations (seconds) of the compute phases of one MoE block."""
+
+    attention: float
+    gate: float
+    experts: float
+    add_norm: float
+
+    @property
+    def forward_compute(self) -> float:
+        return self.attention + self.gate + self.experts + self.add_norm
+
+    @property
+    def backward_compute(self) -> float:
+        return self.forward_compute * BACKWARD_COMPUTE_RATIO
+
+    def phase_durations(self) -> Dict[str, float]:
+        return {
+            "attention": self.attention,
+            "gate": self.gate,
+            "experts": self.experts,
+            "add_norm": self.add_norm,
+        }
+
+
+class ComputeProfiler:
+    """Analytic per-block compute-time model.
+
+    Args:
+        gpu: Accelerator used for training (defaults to the H800 of the
+            production measurement study).
+        efficiency: Optional per-phase efficiency overrides.
+    """
+
+    def __init__(self, gpu: GPUSpec = H800, efficiency: Dict[str, float] | None = None) -> None:
+        self.gpu = gpu
+        self.efficiency = dict(DEFAULT_EFFICIENCY)
+        if efficiency:
+            unknown = set(efficiency) - set(DEFAULT_EFFICIENCY)
+            if unknown:
+                raise ValueError(f"unknown phases in efficiency overrides: {sorted(unknown)}")
+            self.efficiency.update(efficiency)
+
+    # ------------------------------------------------------------------ flops
+    def attention_flops(self, model: MoEModelConfig, micro_batch_size: int) -> float:
+        """Forward FLOPs of one attention layer, per TP shard."""
+        tokens = model.seq_len * micro_batch_size
+        h = model.hidden_size
+        projections = 8.0 * h * h  # QKV + output projections, 2 FLOPs/MAC
+        attention_scores = 4.0 * model.seq_len * h  # QK^T and PV per token
+        return tokens * (projections + attention_scores) / model.tp_degree
+
+    def gate_flops(self, model: MoEModelConfig, micro_batch_size: int) -> float:
+        tokens = model.seq_len * micro_batch_size
+        return tokens * 2.0 * model.hidden_size * model.num_experts
+
+    def expert_flops(self, model: MoEModelConfig, micro_batch_size: int) -> float:
+        """Forward FLOPs of the expert phase on one EP rank (average load).
+
+        Each EP rank receives on average ``tokens * top_k / ep * ep = tokens *
+        top_k`` token copies because every rank dispatches the same number and
+        they spread across the group; each copy runs one expert's gated MLP.
+        """
+        tokens = model.seq_len * micro_batch_size * model.top_k
+        per_token = 6.0 * model.hidden_size * model.expert_ffn_hidden_size
+        return tokens * per_token / model.tp_degree
+
+    def add_norm_flops(self, model: MoEModelConfig, micro_batch_size: int) -> float:
+        tokens = model.seq_len * micro_batch_size
+        return tokens * 10.0 * model.hidden_size
+
+    # -------------------------------------------------------------- durations
+    def _duration(self, flops: float, phase: str) -> float:
+        effective = self.gpu.peak_tflops * 1e12 * self.efficiency[phase]
+        return flops / effective
+
+    def block_profile(
+        self, model: MoEModelConfig, micro_batch_size: int | None = None
+    ) -> BlockProfile:
+        """Compute-phase durations for one MoE block at ``micro_batch_size``."""
+        mbs = micro_batch_size if micro_batch_size is not None else model.micro_batch_size
+        if mbs <= 0:
+            raise ValueError("micro_batch_size must be positive")
+        return BlockProfile(
+            attention=self._duration(self.attention_flops(model, mbs), "attention"),
+            gate=self._duration(self.gate_flops(model, mbs), "gate"),
+            experts=self._duration(self.expert_flops(model, mbs), "experts"),
+            add_norm=self._duration(self.add_norm_flops(model, mbs), "add_norm"),
+        )
+
+    def iteration_compute_time(
+        self,
+        model: MoEModelConfig,
+        micro_batch_size: int | None = None,
+        num_micro_batches: int | None = None,
+    ) -> float:
+        """Total compute time of one stage's blocks over one iteration.
+
+        Pipeline-parallel training processes ``num_micro_batches`` micro-batches
+        per iteration; by default one micro-batch per pipeline stage, matching
+        the paper's iteration-time comparisons.
+        """
+        profile = self.block_profile(model, micro_batch_size)
+        blocks = model.blocks_per_pp_stage
+        micro_batches = num_micro_batches if num_micro_batches is not None else model.pp_degree
+        per_micro_batch = blocks * (profile.forward_compute + profile.backward_compute)
+        return per_micro_batch * micro_batches
+
+    def timeline(
+        self,
+        model: MoEModelConfig,
+        micro_batch_sizes: List[int],
+        all_to_all_time_fn=None,
+    ) -> Dict[int, Dict[str, float]]:
+        """Per-phase forward timeline for several micro-batch sizes (Fig. 3/17).
+
+        Args:
+            model: Model to profile.
+            micro_batch_sizes: Micro-batch sizes to evaluate (e.g. 8..32).
+            all_to_all_time_fn: Optional callable ``f(model, mbs) -> seconds``
+                giving the duration of one all-to-all phase; when omitted the
+                all-to-all entries are zero (compute-only timeline).
+
+        Returns:
+            ``{mbs: {phase: seconds}}`` with the phases of :data:`FORWARD_PHASES`.
+        """
+        result: Dict[int, Dict[str, float]] = {}
+        for mbs in micro_batch_sizes:
+            profile = self.block_profile(model, mbs)
+            a2a = float(all_to_all_time_fn(model, mbs)) if all_to_all_time_fn else 0.0
+            result[mbs] = {
+                "attention": profile.attention,
+                "gate": profile.gate,
+                "all_to_all_dispatch": a2a,
+                "experts": profile.experts,
+                "all_to_all_combine": a2a,
+                "add_norm": profile.add_norm,
+            }
+        return result
+
+
+def all_to_all_phase_time(
+    model: MoEModelConfig,
+    micro_batch_size: int,
+    nic_bandwidth_gbps: float = 400.0,
+    bus_utilization: float = 0.25,
+) -> float:
+    """Estimate of one EP all-to-all phase's duration on a static EPS fabric.
+
+    Used only for the production-timeline reproduction (Figure 3/17); the
+    large-scale evaluation times all-to-alls with the network simulator.  The
+    ``bus_utilization`` factor reflects the poor algorithmic bandwidth of
+    all-to-all on shared Clos fabrics observed in production.
+    """
+    if nic_bandwidth_gbps <= 0 or bus_utilization <= 0:
+        raise ValueError("bandwidth and utilization must be positive")
+    dispatch_bytes = (
+        model.seq_len
+        * micro_batch_size
+        * model.top_k
+        * model.hidden_size
+        * 2
+        / model.tp_degree
+    )
+    remote_fraction = (model.ep_degree - 1) / model.ep_degree
+    effective_bps = nic_bandwidth_gbps * 1e9 * bus_utilization / 8.0
+    return dispatch_bytes * remote_fraction / effective_bps

@@ -1,0 +1,242 @@
+"""Per-parallelism traffic volumes and GPU-level traffic matrices.
+
+Reproduces the workload-characterisation artifacts of §2.1 and §3:
+
+* Figure 2 — share of one training iteration's traffic volume contributed by
+  TP, EP, PP and DP for each model.
+* Figure 5 — the 128x128 GPU-to-GPU traffic matrix of Mixtral 8x7B showing
+  that EP all-to-all traffic is confined to regional blocks.
+* Table 3 — the qualitative traffic character of each parallelism.
+
+Volumes are per-GPU-pair bytes for one micro-batch step; data-parallel
+gradient traffic is amortised over ``grad_accumulation_steps`` micro-batches
+because gradients are exchanged once per optimizer step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.moe.gate import GateSimulator
+from repro.moe.models import BYTES_PER_ELEMENT, MoEModelConfig
+from repro.moe.parallelism import ParallelismPlan
+
+#: Parallelism labels in the order used by Figure 2.
+PARALLELISMS = ("TP", "EP", "PP", "DP")
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Traffic volume (bytes, whole cluster, one micro-batch step) per parallelism."""
+
+    tp: float
+    ep: float
+    pp: float
+    dp: float
+
+    @property
+    def total(self) -> float:
+        return self.tp + self.ep + self.pp + self.dp
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        if total <= 0:
+            return {name: 0.0 for name in PARALLELISMS}
+        return {
+            "TP": self.tp / total,
+            "EP": self.ep / total,
+            "PP": self.pp / total,
+            "DP": self.dp / total,
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"TP": self.tp, "EP": self.ep, "PP": self.pp, "DP": self.dp}
+
+
+def activation_bytes(model: MoEModelConfig) -> float:
+    """Size of one micro-batch's hidden activations (bytes)."""
+    return float(model.tokens_per_micro_batch * model.hidden_size * BYTES_PER_ELEMENT)
+
+
+def tp_bytes_per_gpu_per_block(model: MoEModelConfig) -> float:
+    """TP all-reduce bytes sent by one GPU for one MoE block (fwd + bwd).
+
+    Megatron-style layers perform two activation all-reduces per block in the
+    forward pass (after attention and after the expert MLP) and two in the
+    backward pass.  A ring all-reduce moves ``2 (tp-1)/tp`` times the buffer.
+    """
+    tp = model.tp_degree
+    if tp <= 1:
+        return 0.0
+    buffer = activation_bytes(model)
+    per_all_reduce = 2.0 * (tp - 1) / tp * buffer
+    return 4.0 * per_all_reduce
+
+
+def ep_bytes_per_gpu_per_block(model: MoEModelConfig) -> float:
+    """EP all-to-all bytes sent by one GPU for one MoE block (fwd + bwd).
+
+    Each rank dispatches ``tokens * top_k`` hidden vectors, sharded across its
+    TP group, in each of the four all-to-all phases (§5.1).
+    """
+    dispatch = (
+        model.tokens_per_micro_batch
+        * model.top_k
+        * model.hidden_size
+        * BYTES_PER_ELEMENT
+        / model.tp_degree
+    )
+    return 4.0 * dispatch
+
+
+def pp_bytes_per_boundary(model: MoEModelConfig) -> float:
+    """Point-to-point activation bytes crossing one PP boundary (fwd + bwd)."""
+    return 2.0 * activation_bytes(model)
+
+
+def dp_bytes_per_gpu(model: MoEModelConfig, dp_degree: int, grad_accumulation_steps: int) -> float:
+    """DP gradient all-reduce bytes per GPU, amortised per micro-batch step."""
+    if dp_degree <= 1:
+        return 0.0
+    params_per_gpu = (
+        model.num_moe_blocks
+        * model.block_params()
+        / (model.tp_degree * model.pp_degree * model.ep_degree)
+        # Expert parameters are sharded across EP ranks; attention/gate are
+        # replicated, so keep them out of the EP division.
+        + model.num_moe_blocks
+        * (model.attention_params() + model.hidden_size * model.num_experts)
+        / (model.tp_degree * model.pp_degree)
+    ) / 2.0
+    grad_bytes = params_per_gpu * BYTES_PER_ELEMENT
+    ring_factor = 2.0 * (dp_degree - 1) / dp_degree
+    return ring_factor * grad_bytes / max(1, grad_accumulation_steps)
+
+
+def traffic_breakdown(
+    model: MoEModelConfig,
+    world_size: Optional[int] = None,
+    grad_accumulation_steps: int = 32,
+) -> TrafficBreakdown:
+    """Cluster-wide traffic volume per parallelism for one micro-batch step.
+
+    Args:
+        model: MoE model configuration.
+        world_size: Total GPUs; defaults to the model's minimal world size
+            (``tp * pp * ep``), matching the Table 1 profiling setup.
+        grad_accumulation_steps: Micro-batches per optimizer step used to
+            amortise DP gradient traffic.
+    """
+    if world_size is None:
+        world_size = model.tp_degree * model.pp_degree * model.ep_degree
+    if world_size % (model.tp_degree * model.pp_degree) != 0:
+        raise ValueError("world_size must be divisible by tp*pp")
+    dp = world_size // (model.tp_degree * model.pp_degree)
+    blocks = model.num_moe_blocks
+
+    tp_total = tp_bytes_per_gpu_per_block(model) * blocks * world_size
+    # Only the EP group members participate in all-to-all; every GPU belongs to
+    # exactly one EP group, so the cluster-wide volume is per-GPU * world.
+    ep_total = ep_bytes_per_gpu_per_block(model) * blocks * world_size
+    pp_total = pp_bytes_per_boundary(model) * (model.pp_degree - 1) * dp * model.tp_degree
+    dp_total = dp_bytes_per_gpu(model, dp, grad_accumulation_steps) * world_size
+    return TrafficBreakdown(tp=tp_total, ep=ep_total, pp=pp_total, dp=dp_total)
+
+
+def gpu_traffic_matrix(
+    plan: ParallelismPlan,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+    include: Optional[Dict[str, bool]] = None,
+    grad_accumulation_steps: int = 32,
+) -> np.ndarray:
+    """GPU-to-GPU traffic matrix (bytes) for one micro-batch step (Figure 5).
+
+    The matrix includes EP all-to-all (regional, non-uniform), TP all-reduce
+    (intra-server), PP point-to-point (stage boundaries) and amortised DP
+    all-reduce (ring across replicas).  Intra-GPU entries are zero.
+
+    Args:
+        plan: Parallelism plan (provides the rank placement).
+        cluster: Cluster spec; defaults to ``plan.cluster``.
+        seed: RNG seed for the gate used to draw the EP traffic pattern.
+        include: Optional map like ``{"EP": True, "TP": False, ...}`` to select
+            which parallelisms contribute (all by default).
+        grad_accumulation_steps: DP amortisation factor.
+    """
+    cluster = cluster or plan.cluster
+    model = plan.model
+    n = plan.world_size
+    matrix = np.zeros((n, n))
+    enabled = {name: True for name in PARALLELISMS}
+    if include:
+        enabled.update(include)
+
+    gate = GateSimulator(model, seed=seed)
+    loads = gate.expert_loads(0)
+
+    if enabled.get("EP", True):
+        blocks = model.num_moe_blocks
+        for group_index, group in enumerate(plan.ep_groups()):
+            # Each EP group carries the all-to-all of the MoE blocks hosted on
+            # its pipeline stage; use a representative layer for the pattern.
+            stage = plan.coordinate(group[0]).pp
+            layer = min(stage * model.blocks_per_pp_stage, model.num_moe_blocks - 1)
+            rank_matrix = gate.rank_traffic_matrix(
+                loads[layer], sender_seed=seed * 7919 + group_index
+            )
+            blocks_on_stage = model.blocks_per_pp_stage
+            for i, src in enumerate(group):
+                for j, dst in enumerate(group):
+                    if src == dst:
+                        continue
+                    matrix[src, dst] += 4.0 * rank_matrix[i, j] * blocks_on_stage
+
+    if enabled.get("TP", True) and model.tp_degree > 1:
+        per_pair = (
+            tp_bytes_per_gpu_per_block(model)
+            * model.blocks_per_pp_stage
+            / (model.tp_degree - 1)
+        )
+        for group in plan.tp_groups():
+            for src in group:
+                for dst in group:
+                    if src != dst:
+                        matrix[src, dst] += per_pair
+
+    if enabled.get("PP", True) and model.pp_degree > 1:
+        volume = pp_bytes_per_boundary(model)
+        for group in plan.pp_groups():
+            for a, b in zip(group[:-1], group[1:]):
+                matrix[a, b] += volume
+                matrix[b, a] += volume
+
+    if enabled.get("DP", True) and plan.dp > 1:
+        per_gpu = dp_bytes_per_gpu(model, plan.dp, grad_accumulation_steps)
+        per_neighbor = per_gpu / 2.0
+        for group in plan.dp_groups():
+            ring = list(group)
+            for idx, src in enumerate(ring):
+                dst = ring[(idx + 1) % len(ring)]
+                matrix[src, dst] += per_neighbor
+                matrix[dst, src] += per_neighbor
+
+    return matrix
+
+
+def server_traffic_matrix(plan: ParallelismPlan, gpu_matrix: np.ndarray) -> np.ndarray:
+    """Aggregate a GPU matrix to server granularity (used by Algorithm 1)."""
+    cluster = plan.cluster
+    num_servers = cluster.num_servers
+    if gpu_matrix.shape != (plan.world_size, plan.world_size):
+        raise ValueError("gpu_matrix shape does not match the plan's world size")
+    servers = np.array([cluster.server_of_gpu(g) for g in range(plan.world_size)])
+    result = np.zeros((num_servers, num_servers))
+    np.add.at(result, (servers[:, None].repeat(plan.world_size, axis=1),
+                       servers[None, :].repeat(plan.world_size, axis=0)), gpu_matrix)
+    np.fill_diagonal(result, 0.0)
+    return result

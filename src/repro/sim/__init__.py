@@ -1,0 +1,18 @@
+"""Event-driven flow-level training/network simulator (htsim + FlexFlow substitute)."""
+
+from repro.sim.dag import FlowSpec, RouteKind, Task, TaskGraph, TaskKind
+from repro.sim.executor import ExecutionResult, Executor
+from repro.sim.flows import Flow, FluidNetwork, total_path_bytes
+
+__all__ = [
+    "FlowSpec",
+    "RouteKind",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+    "ExecutionResult",
+    "Executor",
+    "Flow",
+    "FluidNetwork",
+    "total_path_bytes",
+]

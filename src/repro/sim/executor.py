@@ -1,0 +1,192 @@
+"""Discrete-event executor: runs a task DAG over a fluid network.
+
+The executor advances simulated time between two kinds of events —
+fixed-duration task completions (compute, reconfiguration, barriers) and flow
+completions in the fluid network — starting tasks as soon as all their
+dependencies have finished.  Communication tasks inject one flow per
+:class:`~repro.sim.dag.FlowSpec`; their completion time therefore reflects
+whatever contention the fabric imposes at that moment, including circuits
+installed by reconfiguration callbacks earlier in the run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.fabric.base import RegionNetwork
+from repro.sim.dag import FlowSpec, RouteKind, Task, TaskGraph, TaskKind
+from repro.sim.flows import Flow, FluidNetwork
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one executor run."""
+
+    makespan: float
+    task_start_times: Dict[str, float] = field(default_factory=dict)
+    task_finish_times: Dict[str, float] = field(default_factory=dict)
+    comm_bytes: float = 0.0
+    reconfig_time_total: float = 0.0
+
+    def duration_of(self, task_id: str) -> float:
+        return self.task_finish_times[task_id] - self.task_start_times[task_id]
+
+    def finished_tasks(self) -> int:
+        return len(self.task_finish_times)
+
+
+class Executor:
+    """Runs a :class:`TaskGraph` on a :class:`RegionNetwork`.
+
+    Args:
+        graph: The iteration DAG.
+        region: The fabric region view providing links and routing.
+    """
+
+    def __init__(self, graph: TaskGraph, region: RegionNetwork) -> None:
+        graph.validate()
+        self.graph = graph
+        self.region = region
+        self.network = FluidNetwork(region)
+        self._flow_counter = itertools.count()
+
+    # ------------------------------------------------------------------- run
+    def run(self, max_events: int = 5_000_000) -> ExecutionResult:
+        """Execute the DAG and return timing results.
+
+        Raises:
+            RuntimeError: If the simulation deadlocks (flows exist but cannot
+                make progress and no timed event is pending) or exceeds
+                ``max_events``.
+        """
+        tasks = self.graph.tasks
+        remaining_deps: Dict[str, int] = {tid: len(t.deps) for tid, t in tasks.items()}
+        dependents: Dict[str, List[str]] = {tid: [] for tid in tasks}
+        for tid, task in tasks.items():
+            for dep in task.deps:
+                dependents[dep].append(tid)
+
+        result = ExecutionResult(makespan=0.0)
+        now = 0.0
+        timed_events: List[Tuple[float, int, str]] = []  # (finish time, seq, task id)
+        seq = itertools.count()
+        flows_of_task: Dict[str, Set[str]] = {}
+        task_of_flow: Dict[str, str] = {}
+        done: Set[str] = set()
+
+        def start_task(task_id: str) -> None:
+            task = tasks[task_id]
+            result.task_start_times[task_id] = now
+            if task.on_start is not None:
+                task.on_start()
+            if task.kind is TaskKind.COMM:
+                flow_ids: Set[str] = set()
+                for spec in task.flow_specs:
+                    if spec.size_bytes <= 0:
+                        continue
+                    path = self._resolve_path(spec)
+                    flow_id = f"{task_id}/f{next(self._flow_counter)}"
+                    self.network.add_flow(
+                        Flow(flow_id=flow_id, size_bytes=spec.size_bytes, path=path)
+                    )
+                    flow_ids.add(flow_id)
+                    task_of_flow[flow_id] = task_id
+                    result.comm_bytes += spec.size_bytes
+                if flow_ids:
+                    flows_of_task[task_id] = flow_ids
+                else:
+                    # Nothing to transfer: completes instantly.
+                    heapq.heappush(timed_events, (now, next(seq), task_id))
+            else:
+                if task.kind is TaskKind.RECONFIG:
+                    result.reconfig_time_total += task.duration_s
+                heapq.heappush(timed_events, (now + task.duration_s, next(seq), task_id))
+
+        def complete_task(task_id: str) -> None:
+            task = tasks[task_id]
+            done.add(task_id)
+            result.task_finish_times[task_id] = now
+            if task.on_complete is not None:
+                task.on_complete()
+                # A callback may have changed link capacities (e.g. circuits).
+                self.network.mark_topology_changed()
+            for dependent in dependents[task_id]:
+                remaining_deps[dependent] -= 1
+                if remaining_deps[dependent] == 0:
+                    start_task(dependent)
+
+        # Start all roots.
+        for tid, count in list(remaining_deps.items()):
+            if count == 0:
+                start_task(tid)
+
+        events = 0
+        while len(done) < len(tasks):
+            events += 1
+            if events > max_events:
+                raise RuntimeError("executor exceeded the maximum event budget")
+
+            next_timed: Optional[float] = timed_events[0][0] if timed_events else None
+            next_flow_dt = self.network.time_to_next_completion()
+            next_flow: Optional[float] = now + next_flow_dt if next_flow_dt is not None else None
+
+            if next_timed is None and next_flow is None:
+                if self.network.active_flow_count() > 0:
+                    raise RuntimeError(
+                        "simulation deadlock: active flows cannot make progress "
+                        "(a path is dark and no event will revive it)"
+                    )
+                raise RuntimeError("simulation deadlock: tasks remaining but no events pending")
+
+            if next_flow is None or (next_timed is not None and next_timed <= next_flow):
+                target_time = max(now, next_timed)  # type: ignore[arg-type]
+                finished_flows = (
+                    self.network.advance(target_time - now) if target_time > now else []
+                )
+                now = target_time
+                finished_ids: List[str] = []
+                while timed_events and timed_events[0][0] <= now + 1e-15:
+                    _, _, tid = heapq.heappop(timed_events)
+                    finished_ids.append(tid)
+                for tid in finished_ids:
+                    complete_task(tid)
+                # Flows may finish at exactly the same instant as a timed task;
+                # their owning communication tasks must complete too.
+                for flow in finished_flows:
+                    owner = task_of_flow.pop(flow.flow_id)
+                    owner_flows = flows_of_task[owner]
+                    owner_flows.discard(flow.flow_id)
+                    if not owner_flows:
+                        del flows_of_task[owner]
+                        complete_task(owner)
+            else:
+                # Advance by the relative step rather than the difference of
+                # absolute times, which would be absorbed to zero once the
+                # clock is many orders of magnitude larger than the step.
+                assert next_flow_dt is not None
+                finished_flows = self.network.advance(next_flow_dt)
+                now = now + next_flow_dt
+                completed_comm: List[str] = []
+                for flow in finished_flows:
+                    owner = task_of_flow.pop(flow.flow_id)
+                    owner_flows = flows_of_task[owner]
+                    owner_flows.discard(flow.flow_id)
+                    if not owner_flows:
+                        completed_comm.append(owner)
+                        del flows_of_task[owner]
+                for tid in completed_comm:
+                    complete_task(tid)
+
+        result.makespan = now
+        return result
+
+    # ----------------------------------------------------------------- routes
+    def _resolve_path(self, spec: FlowSpec) -> List[str]:
+        if spec.route is RouteKind.INTRA or spec.src_server == spec.dst_server:
+            return [self.region.intra_link(spec.src_server)]
+        if spec.route is RouteKind.EP:
+            return self.region.ep_path(spec.src_server, spec.dst_server)
+        return self.region.eps_path(spec.src_server, spec.dst_server)

@@ -1,0 +1,33 @@
+"""Hardware-prototype emulation: testbed experiments and OCS control plane."""
+
+from repro.testbed.ocs_control import (
+    ControlTimelineStage,
+    NICActivationModel,
+    ReconfigurationDelayModel,
+    control_timeline,
+    empirical_cdf,
+    percentile,
+    timeline_total,
+)
+from repro.testbed.prototype import (
+    TESTBED_MODELS,
+    TestbedComparison,
+    run_all_prototype_experiments,
+    run_prototype_experiment,
+    testbed_cluster,
+)
+
+__all__ = [
+    "ControlTimelineStage",
+    "NICActivationModel",
+    "ReconfigurationDelayModel",
+    "control_timeline",
+    "empirical_cdf",
+    "percentile",
+    "timeline_total",
+    "TESTBED_MODELS",
+    "TestbedComparison",
+    "run_all_prototype_experiments",
+    "run_prototype_experiment",
+    "testbed_cluster",
+]

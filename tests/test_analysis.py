@@ -1,0 +1,108 @@
+"""Tests for evaluation metrics and locality statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DesignPoint,
+    cost_efficiency_gain,
+    locality_fraction,
+    normalize,
+    pareto_front,
+    speedup_over,
+)
+from repro.analysis.locality import (
+    per_block_token_share,
+    sparsity_gini,
+    top_pair_share,
+)
+from repro.analysis.metrics import relative_points, tokens_per_second
+
+
+class TestMetrics:
+    def test_normalize(self):
+        values = {"a": 2.0, "b": 4.0}
+        assert normalize(values, "a") == {"a": 1.0, "b": 2.0}
+        with pytest.raises(KeyError):
+            normalize(values, "c")
+
+    def test_speedup_over(self):
+        times = {"Fat-tree": 10.0, "MixNet": 8.0}
+        speedups = speedup_over(times, "Fat-tree")
+        assert speedups["MixNet"] == pytest.approx(1.25)
+
+    def test_design_point_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            DesignPoint("x", 1.0, 0.0)
+
+    def test_performance_per_dollar(self):
+        point = DesignPoint("x", iteration_time_s=2.0, cost_usd=100.0)
+        assert point.performance_per_dollar == pytest.approx(0.005)
+
+    def test_pareto_front_excludes_dominated(self):
+        points = [
+            DesignPoint("cheap-slow", 10.0, 10.0),
+            DesignPoint("balanced", 5.0, 20.0),
+            DesignPoint("dominated", 10.0, 30.0),
+            DesignPoint("fast-expensive", 2.0, 100.0),
+        ]
+        front = {p.fabric for p in pareto_front(points)}
+        assert "dominated" not in front
+        assert {"cheap-slow", "balanced", "fast-expensive"} <= front
+
+    def test_cost_efficiency_gain(self):
+        points = {
+            "MixNet": DesignPoint("MixNet", 10.0, 50.0),
+            "Fat-tree": DesignPoint("Fat-tree", 9.0, 100.0),
+        }
+        gain = cost_efficiency_gain(points, "MixNet", "Fat-tree")
+        assert gain == pytest.approx((1 / 10 / 50) / (1 / 9 / 100))
+        with pytest.raises(KeyError):
+            cost_efficiency_gain(points, "MixNet", "TopoOpt")
+
+    def test_relative_points_bounded(self):
+        points = [DesignPoint("a", 1.0, 10.0), DesignPoint("b", 2.0, 20.0)]
+        rel = relative_points(points)
+        assert max(p["relative_cost"] for p in rel) == pytest.approx(1.0)
+        assert max(p["relative_performance"] for p in rel) == pytest.approx(1.0)
+        assert relative_points([]) == []
+
+    def test_tokens_per_second(self):
+        assert tokens_per_second(1000, 2.0) == 500.0
+        with pytest.raises(ValueError):
+            tokens_per_second(1000, 0.0)
+
+
+class TestLocality:
+    def test_locality_fraction_block_diagonal(self):
+        matrix = np.zeros((4, 4))
+        matrix[0, 1] = matrix[1, 0] = 5.0
+        matrix[2, 3] = matrix[3, 2] = 5.0
+        assert locality_fraction(matrix, [[0, 1], [2, 3]]) == pytest.approx(1.0)
+        assert locality_fraction(matrix, [[0, 2], [1, 3]]) == pytest.approx(0.0)
+
+    def test_locality_of_empty_matrix(self):
+        assert locality_fraction(np.zeros((4, 4)), [[0, 1]]) == 1.0
+
+    def test_gini_uniform_vs_sparse(self):
+        uniform = np.ones((6, 6))
+        sparse = np.zeros((6, 6))
+        sparse[0, 1] = 100.0
+        assert sparsity_gini(uniform) == pytest.approx(0.0, abs=1e-9)
+        assert sparsity_gini(sparse) > 0.9
+
+    def test_top_pair_share(self):
+        matrix = np.ones((4, 4))
+        matrix[0, 1] = 100.0
+        assert top_pair_share(matrix, k=1) > 0.8
+        assert top_pair_share(np.zeros((4, 4))) == 0.0
+
+    def test_per_block_token_share(self):
+        loads = np.array([[0.7, 0.1, 0.1, 0.1], [0.25, 0.25, 0.25, 0.25]])
+        shares = per_block_token_share(loads)
+        assert shares[0] == pytest.approx(0.7)
+        assert shares[1] == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            per_block_token_share(np.ones(4))

@@ -1,0 +1,114 @@
+"""Tests for the cluster hardware specification."""
+
+import pytest
+
+from repro.cluster import (
+    A100,
+    ClusterSpec,
+    NICFabric,
+    ServerSpec,
+    simulation_cluster,
+)
+from repro.cluster import testbed_cluster as make_testbed_cluster
+
+
+class TestServerSpec:
+    def test_default_nic_split(self):
+        server = ServerSpec()
+        assert server.num_nics == 8
+        assert server.ocs_nics == 6
+        assert server.eps_nics == 2
+
+    def test_invalid_ocs_split_rejected(self):
+        with pytest.raises(ValueError):
+            ServerSpec(num_nics=4, ocs_nics=5)
+
+    def test_invalid_gpu_count_rejected(self):
+        with pytest.raises(ValueError):
+            ServerSpec(num_gpus=0)
+
+    def test_nics_for_server_fabric_assignment(self):
+        server = ServerSpec(num_nics=8, ocs_nics=6)
+        nics = server.nics_for_server(3)
+        assert len(nics) == 8
+        assert sum(1 for n in nics if n.fabric is NICFabric.OCS) == 6
+        assert sum(1 for n in nics if n.fabric is NICFabric.EPS) == 2
+        assert all(n.server_id == 3 for n in nics)
+
+    def test_nics_alternate_numa_nodes(self):
+        server = ServerSpec(num_nics=8, ocs_nics=6, num_numa_nodes=2)
+        nics = server.nics_for_server(0)
+        numa_nodes = [n.numa_node for n in nics]
+        assert set(numa_nodes) == {0, 1}
+        # Consecutive NICs land on different NUMA nodes.
+        assert numa_nodes[0] != numa_nodes[1]
+
+    def test_gpus_for_server_numa_layout(self):
+        server = ServerSpec(num_gpus=8, num_numa_nodes=2)
+        gpus = server.gpus_for_server(1)
+        assert len(gpus) == 8
+        assert {g.numa_node for g in gpus} == {0, 1}
+
+
+class TestClusterSpec:
+    def test_gpu_and_nic_counts(self):
+        cluster = ClusterSpec(num_servers=4)
+        assert cluster.num_gpus == 32
+        assert cluster.num_nics == 32
+
+    def test_server_of_gpu_mapping(self):
+        cluster = ClusterSpec(num_servers=4)
+        assert cluster.server_of_gpu(0) == 0
+        assert cluster.server_of_gpu(7) == 0
+        assert cluster.server_of_gpu(8) == 1
+        assert cluster.server_of_gpu(31) == 3
+
+    def test_global_gpu_roundtrip(self):
+        cluster = ClusterSpec(num_servers=4)
+        for gpu in range(cluster.num_gpus):
+            server = cluster.server_of_gpu(gpu)
+            local = cluster.local_index_of_gpu(gpu)
+            assert cluster.global_gpu(server, local) == gpu
+
+    def test_out_of_range_gpu_rejected(self):
+        cluster = ClusterSpec(num_servers=2)
+        with pytest.raises(ValueError):
+            cluster.server_of_gpu(16)
+        with pytest.raises(ValueError):
+            cluster.server_of_gpu(-1)
+
+    def test_servers_of_gpus_deduplicates(self):
+        cluster = ClusterSpec(num_servers=4)
+        assert cluster.servers_of_gpus([0, 1, 9, 10, 25]) == [0, 1, 3]
+
+    def test_ocs_and_eps_nic_views(self):
+        cluster = ClusterSpec(num_servers=2)
+        assert len(cluster.ocs_nics_of_server(0)) == 6
+        assert len(cluster.eps_nics_of_server(0)) == 2
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_servers=0)
+
+
+class TestFactories:
+    def test_testbed_cluster_matches_prototype(self):
+        cluster = make_testbed_cluster()
+        assert cluster.num_servers == 4
+        assert cluster.num_gpus == 32
+        assert cluster.server.num_nics == 4
+        assert cluster.server.ocs_nics == 3
+        assert cluster.server.nic_bandwidth_gbps == 100.0
+        assert cluster.server.gpu == A100
+
+    def test_simulation_cluster_defaults(self):
+        cluster = simulation_cluster(128, nic_bandwidth_gbps=400.0)
+        assert cluster.num_gpus == 1024
+        assert cluster.server.num_nics == 8
+        assert cluster.server.ocs_nics == 6
+        assert cluster.server.nic_bandwidth_gbps == 400.0
+
+    def test_simulation_cluster_custom_optical_degree(self):
+        cluster = simulation_cluster(16, ocs_nics=4)
+        assert cluster.server.ocs_nics == 4
+        assert cluster.server.eps_nics == 4

@@ -1,0 +1,132 @@
+"""Tests for the collective communication manager (§5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import simulation_cluster
+from repro.core.collective import (
+    all_to_all_lower_bound,
+    delegation_assignments,
+    ep_all_to_all_flows,
+    hierarchical_all_reduce_flows,
+    pp_point_to_point_flows,
+    ring_all_reduce_flows,
+    ring_all_reduce_time,
+    tp_all_reduce_time,
+)
+from repro.moe.models import MIXTRAL_8x7B
+from repro.moe.parallelism import ParallelismPlan
+from repro.sim.dag import RouteKind
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return ParallelismPlan(MIXTRAL_8x7B, simulation_cluster(16))
+
+
+class TestEpAllToAllFlows:
+    def test_volume_conserved(self, plan):
+        group = plan.ep_groups()[0]
+        rng = np.random.default_rng(0)
+        matrix = rng.uniform(1e6, 1e7, size=(8, 8))
+        np.fill_diagonal(matrix, 0.0)
+        flows = ep_all_to_all_flows(matrix, group, plan.cluster)
+        assert sum(f.size_bytes for f in flows) == pytest.approx(matrix.sum())
+
+    def test_local_pairs_use_nvswitch(self, plan):
+        group = plan.ep_groups()[0]
+        matrix = np.ones((8, 8)) * 1e6
+        flows = ep_all_to_all_flows(matrix, group, plan.cluster)
+        intra = [f for f in flows if f.route is RouteKind.INTRA]
+        inter = [f for f in flows if f.route is not RouteKind.INTRA]
+        assert intra and inter
+        assert all(f.src_server == f.dst_server for f in intra)
+        assert all(f.src_server != f.dst_server for f in inter)
+
+    def test_transpose_reverses_direction(self, plan):
+        group = plan.ep_groups()[0]
+        matrix = np.zeros((8, 8))
+        matrix[0, 7] = 1e6  # rank 0 (server 0) -> rank 7 (server 3)
+        forward = ep_all_to_all_flows(matrix, group, plan.cluster)
+        backward = ep_all_to_all_flows(matrix, group, plan.cluster, transpose=True)
+        assert forward[0].src_server == backward[0].dst_server
+        assert forward[0].dst_server == backward[0].src_server
+
+    def test_aggregation_to_server_pairs(self, plan):
+        group = plan.ep_groups()[0]
+        matrix = np.ones((8, 8)) * 1e6
+        np.fill_diagonal(matrix, 0.0)
+        flows = ep_all_to_all_flows(matrix, group, plan.cluster)
+        inter = [f for f in flows if f.route is not RouteKind.INTRA]
+        # 4 servers -> 12 ordered pairs at most, far fewer than 56 rank pairs.
+        assert len(inter) <= 12
+
+    def test_shape_validation(self, plan):
+        with pytest.raises(ValueError):
+            ep_all_to_all_flows(np.zeros((4, 4)), plan.ep_groups()[0], plan.cluster)
+
+
+class TestAllReduce:
+    def test_ring_flow_volume(self):
+        flows = ring_all_reduce_flows([0, 1, 2, 3], 1e9)
+        assert len(flows) == 4
+        for flow in flows:
+            assert flow.size_bytes == pytest.approx(2 * 3 / 4 * 1e9)
+
+    def test_ring_trivial_cases(self):
+        assert ring_all_reduce_flows([0], 1e9) == []
+        assert ring_all_reduce_flows([0, 1], 0.0) == []
+
+    def test_ring_time_formula(self):
+        time = ring_all_reduce_time(1e9, 4, 100.0)
+        assert time == pytest.approx(2 * 3 / 4 * 1e9 / 12.5e9)
+        assert ring_all_reduce_time(1e9, 1, 100.0) == 0.0
+        with pytest.raises(ValueError):
+            ring_all_reduce_time(1e9, 4, 0.0)
+
+    def test_hierarchical_all_reduce_structure(self):
+        flows = hierarchical_all_reduce_flows([0, 1, 2], 1e8, gpus_per_server=8)
+        intra = [f for f in flows if f.route is RouteKind.INTRA]
+        ring = [f for f in flows if f.route is RouteKind.EPS]
+        assert len(intra) == 3
+        assert len(ring) == 3
+
+    def test_tp_all_reduce_time_zero_for_degree_one(self):
+        assert tp_all_reduce_time(1e9, 1, 7200.0) == 0.0
+        assert tp_all_reduce_time(1e9, 4, 7200.0) > 0.0
+
+
+class TestPointToPoint:
+    def test_pp_flow(self):
+        flows = pp_point_to_point_flows(0, 4, 1e8)
+        assert len(flows) == 1
+        assert flows[0].route is RouteKind.EPS
+        assert pp_point_to_point_flows(0, 4, 0.0) == []
+
+
+class TestLowerBound:
+    def test_lower_bound_positive_and_scales(self, plan):
+        group = plan.ep_groups()[0]
+        matrix = np.ones((8, 8)) * 1e8
+        np.fill_diagonal(matrix, 0.0)
+        slow = all_to_all_lower_bound(matrix, group, plan.cluster, 100.0)
+        fast = all_to_all_lower_bound(matrix, group, plan.cluster, 400.0)
+        assert slow == pytest.approx(4 * fast)
+        assert all_to_all_lower_bound(np.zeros((8, 8)), group, plan.cluster, 100.0) == 0.0
+
+
+class TestDelegation:
+    def test_assignments_cover_all_pairs(self, plan):
+        servers = [0, 1, 2, 3]
+        circuits = {(0, 1): 2, (2, 3): 1}
+        assignments = delegation_assignments(servers, circuits, plan.cluster)
+        assert len(assignments) == 12
+        by_pair = {(a.src_server, a.dst_server): a for a in assignments}
+        assert by_pair[(0, 1)].via_circuit
+        assert by_pair[(1, 0)].via_circuit
+        assert not by_pair[(0, 2)].via_circuit
+
+    def test_eps_delegation_uses_eps_nics(self, plan):
+        assignments = delegation_assignments([0, 1], {}, plan.cluster)
+        for assignment in assignments:
+            assert assignment.nic_index >= plan.cluster.server.ocs_nics

@@ -1,0 +1,101 @@
+"""Tests for the regional topology controller (§5.2, Figure 20)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import simulation_cluster
+from repro.core.controller import RegionalTopologyController
+from repro.fabric.mixnet import MixNetFabric
+from repro.moe.gate import GateSimulator
+from repro.moe.models import MIXTRAL_8x7B
+from repro.moe.parallelism import ParallelismPlan
+
+
+@pytest.fixture
+def setup():
+    cluster = simulation_cluster(16, nic_bandwidth_gbps=400.0)
+    fabric = MixNetFabric(cluster)
+    plan = ParallelismPlan(MIXTRAL_8x7B, cluster)
+    group = plan.ep_groups()[0]
+    servers = cluster.servers_of_gpus(group)
+    region = fabric.build_region(servers)
+    controller = RegionalTopologyController(
+        region, cluster, optical_degree=fabric.optical_degree
+    )
+    gate = GateSimulator(MIXTRAL_8x7B, seed=0)
+    matrix = gate.rank_traffic_matrix(gate.expert_loads(0)[0], sender_seed=1)
+    return controller, region, group, matrix
+
+
+class TestPlanning:
+    def test_plan_from_rank_matrix_respects_degree(self, setup):
+        controller, _, group, matrix = setup
+        allocation = controller.plan_from_rank_matrix(matrix, group)
+        for server in allocation.servers:
+            assert allocation.degree_of(server) <= 6
+
+    def test_plan_uniform_has_circuits(self, setup):
+        controller, _, group, _ = setup
+        allocation = controller.plan_uniform(controller.region.servers)
+        assert allocation.total_circuits() > 0
+
+    def test_exclusion_removes_failed_server(self, setup):
+        controller, region, group, matrix = setup
+        failed = region.servers[0]
+        controller.exclude_server(failed)
+        allocation = controller.plan_from_rank_matrix(matrix, group)
+        assert failed not in allocation.servers
+        controller.restore_server(failed)
+        allocation = controller.plan_from_rank_matrix(matrix, group)
+        assert failed in allocation.servers
+
+
+class TestDecisions:
+    def test_full_hiding_in_long_compute_window(self, setup):
+        controller, _, group, matrix = setup
+        allocation = controller.plan_from_rank_matrix(matrix, group)
+        decision = controller.decide(allocation, hideable_window_s=0.1)
+        assert decision.blocking_s == pytest.approx(0.0)
+        assert decision.hidden_s == pytest.approx(0.025)
+
+    def test_partial_blocking_in_short_window(self, setup):
+        controller, _, group, matrix = setup
+        allocation = controller.plan_from_rank_matrix(matrix, group)
+        decision = controller.decide(allocation, hideable_window_s=0.01)
+        assert decision.blocking_s == pytest.approx(0.015)
+
+    def test_unchanged_allocation_is_free(self, setup):
+        controller, _, group, matrix = setup
+        allocation = controller.plan_from_rank_matrix(matrix, group)
+        controller.install(allocation)
+        decision = controller.decide(allocation, hideable_window_s=0.0)
+        assert not decision.changed
+        assert decision.blocking_s == 0.0
+
+
+class TestInstallation:
+    def test_install_applies_circuits_to_region(self, setup):
+        controller, region, group, matrix = setup
+        allocation = controller.plan_from_rank_matrix(matrix, group)
+        controller.install(allocation)
+        assert region.circuits == allocation.circuits
+        assert controller.installed_allocation is allocation
+        assert controller.reconfigurations == 1
+
+    def test_reconfigure_for_demand_tracks_blocking(self, setup):
+        controller, _, group, matrix = setup
+        decision = controller.reconfigure_for_demand(matrix, group, hideable_window_s=0.0)
+        assert decision.changed
+        assert controller.total_blocking_s == pytest.approx(0.025)
+        # Same demand again: no change, no extra blocking.
+        controller.reconfigure_for_demand(matrix, group, hideable_window_s=0.0)
+        assert controller.total_blocking_s == pytest.approx(0.025)
+
+    def test_validation(self, setup):
+        controller, region, _, _ = setup
+        with pytest.raises(ValueError):
+            RegionalTopologyController(region, controller.cluster, optical_degree=-1)
+        with pytest.raises(ValueError):
+            RegionalTopologyController(
+                region, controller.cluster, optical_degree=2, reconfiguration_delay_s=-1.0
+            )

@@ -1,0 +1,115 @@
+"""Tests for traffic-demand characterisation (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import simulation_cluster
+from repro.core.demand import (
+    TrafficMonitor,
+    rank_to_server_demand,
+    symmetrize_upper,
+)
+from repro.moe.models import MIXTRAL_8x7B
+from repro.moe.parallelism import ParallelismPlan
+from repro.moe.trace import generate_trace
+
+
+class TestRankToServerDemand:
+    def test_aggregation_preserves_inter_server_volume(self):
+        cluster = simulation_cluster(16)
+        plan = ParallelismPlan(MIXTRAL_8x7B, cluster)
+        group = plan.ep_groups()[0]
+        matrix = np.arange(64, dtype=float).reshape(8, 8)
+        demand, servers = rank_to_server_demand(matrix, group, cluster)
+        assert len(servers) == 4
+        inter_server_total = 0.0
+        for i, src in enumerate(group):
+            for j, dst in enumerate(group):
+                if i != j and cluster.server_of_gpu(src) != cluster.server_of_gpu(dst):
+                    inter_server_total += matrix[i, j]
+        assert demand.sum() == pytest.approx(inter_server_total)
+        assert np.diag(demand).sum() == 0.0
+
+    def test_shape_validation(self):
+        cluster = simulation_cluster(16)
+        plan = ParallelismPlan(MIXTRAL_8x7B, cluster)
+        group = plan.ep_groups()[0]
+        with pytest.raises(ValueError):
+            rank_to_server_demand(np.zeros((4, 4)), group, cluster)
+
+
+class TestSymmetrizeUpper:
+    def test_tx_rx_folded_together(self):
+        demand = np.array([[0.0, 3.0], [5.0, 0.0]])
+        upper = symmetrize_upper(demand)
+        assert upper[0, 1] == pytest.approx(8.0)
+        assert upper[1, 0] == 0.0
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        demand = rng.uniform(size=(5, 5))
+        np.fill_diagonal(demand, 0.0)
+        upper = symmetrize_upper(demand)
+        assert upper.sum() == pytest.approx(demand.sum())
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            symmetrize_upper(np.zeros((2, 3)))
+
+
+class TestTrafficMonitor:
+    @pytest.fixture
+    def monitor(self):
+        return TrafficMonitor(num_layers=4, window=3)
+
+    def test_window_bound(self, monitor):
+        for iteration in range(5):
+            monitor.record(iteration, 0, np.ones(8) / 8, np.ones((8, 8)))
+        history = monitor.history(0)
+        assert len(history) == 3
+        assert history[0].iteration == 2
+
+    def test_latest(self, monitor):
+        assert monitor.latest(1) is None
+        monitor.record(7, 1, np.ones(8) / 8, np.ones((8, 8)))
+        assert monitor.latest(1).iteration == 7
+
+    def test_load_pairs_match_iterations(self, monitor):
+        loads = np.ones(8) / 8
+        matrix = np.ones((8, 8))
+        for iteration in range(3):
+            monitor.record(iteration, 0, loads * (iteration + 1), matrix)
+            monitor.record(iteration, 1, loads * (iteration + 10), matrix)
+        pairs = monitor.load_pairs(1)
+        assert len(pairs) == 3
+        x, y = pairs[0]
+        np.testing.assert_allclose(x, loads * 1)
+        np.testing.assert_allclose(y, loads * 10)
+
+    def test_layer_zero_has_no_pairs(self, monitor):
+        assert monitor.load_pairs(0) == []
+
+    def test_layer_bounds(self, monitor):
+        with pytest.raises(ValueError):
+            monitor.record(0, 4, np.ones(8), np.ones((8, 8)))
+        with pytest.raises(ValueError):
+            monitor.history(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TrafficMonitor(num_layers=0)
+        with pytest.raises(ValueError):
+            TrafficMonitor(num_layers=2, window=0)
+
+    def test_integration_with_trace(self):
+        trace = generate_trace(MIXTRAL_8x7B, num_iterations=3, layers=[0, 1], seed=0)
+        monitor = TrafficMonitor(num_layers=2, window=8)
+        for record in trace:
+            for layer in range(2):
+                monitor.record(
+                    record.iteration,
+                    layer,
+                    record.expert_loads[layer],
+                    record.traffic_matrices[layer],
+                )
+        assert len(monitor.load_pairs(1)) == 3

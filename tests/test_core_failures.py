@@ -1,0 +1,79 @@
+"""Tests for failure handling (§5.4) and its region-level effects."""
+
+import pytest
+
+from repro.cluster import simulation_cluster
+from repro.core.failures import (
+    FailureKind,
+    FailureScenario,
+    apply_effects_to_region,
+    resolve_effects,
+)
+from repro.fabric.mixnet import MixNetFabric
+
+
+@pytest.fixture
+def cluster():
+    return simulation_cluster(8, nic_bandwidth_gbps=400.0)
+
+
+class TestScenarios:
+    def test_factories(self):
+        assert FailureScenario.none().kind is FailureKind.NONE
+        assert FailureScenario.nic_failures(2).count == 2
+        assert FailureScenario.gpu_failure().kind is FailureKind.GPU
+        assert FailureScenario.server_failure().count == 8
+
+    def test_invalid_nic_count(self):
+        with pytest.raises(ValueError):
+            FailureScenario.nic_failures(0)
+
+
+class TestResolveEffects:
+    def test_no_failure_is_neutral(self, cluster):
+        effects = resolve_effects(FailureScenario.none(), cluster, [0, 1], 1e8)
+        assert effects.eps_capacity_scale == {}
+        assert effects.compute_penalty_s_per_block == 0.0
+
+    def test_single_nic_failure_halves_eps(self, cluster):
+        effects = resolve_effects(FailureScenario.nic_failures(1), cluster, [0, 1, 2, 3], 1e8)
+        assert effects.eps_capacity_scale == {0: 0.5}
+
+    def test_double_nic_failure_triggers_optical_relay(self, cluster):
+        effects = resolve_effects(FailureScenario.nic_failures(2), cluster, [0, 1, 2, 3], 1e8)
+        assert 0 in effects.eps_capacity_scale
+        assert effects.eps_capacity_scale[0] <= 0.5
+        assert effects.ocs_degree_penalty == {0: 1}
+
+    def test_gpu_failure_adds_compute_penalty(self, cluster):
+        effects = resolve_effects(FailureScenario.gpu_failure(), cluster, [0, 1], 1e9)
+        assert effects.compute_penalty_s_per_block > 0.0
+        assert effects.ocs_degree_penalty == {0: 1}
+
+    def test_server_failure_forces_eps(self, cluster):
+        effects = resolve_effects(FailureScenario.server_failure(server=1), cluster, [0, 1], 1e8)
+        assert effects.forced_eps_servers == [1]
+        assert effects.ocs_degree_penalty[1] == cluster.server.ocs_nics
+
+    def test_empty_region_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            resolve_effects(FailureScenario.gpu_failure(), cluster, [], 1e8)
+
+
+class TestApplyEffects:
+    def test_eps_capacity_scaled(self, cluster):
+        fabric = MixNetFabric(cluster)
+        region = fabric.build_region([0, 1, 2, 3])
+        original = region.links["up:s0"].capacity_gbps
+        effects = resolve_effects(FailureScenario.nic_failures(1), cluster, [0, 1, 2, 3], 1e8)
+        apply_effects_to_region(region, effects)
+        assert region.links["up:s0"].capacity_gbps == pytest.approx(original / 2)
+
+    def test_forced_eps_rerouting(self, cluster):
+        fabric = MixNetFabric(cluster)
+        region = fabric.build_region([0, 1, 2, 3])
+        region.apply_circuits({(0, 1): 2})
+        assert "ocs:s0->s1" in region.ep_path(0, 1)
+        effects = resolve_effects(FailureScenario.server_failure(server=0), cluster, [0, 1, 2, 3], 1e8)
+        apply_effects_to_region(region, effects)
+        assert region.ep_path(0, 1) == region.eps_path(0, 1)

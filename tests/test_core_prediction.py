@@ -1,0 +1,126 @@
+"""Tests for MixNet-Copilot traffic-demand prediction (Appendix B.1, Figure 19)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import (
+    MixNetCopilot,
+    estimate_transition_matrix,
+    project_to_simplex,
+)
+from repro.moe.gate import GateSimulator
+from repro.moe.models import MIXTRAL_8x7B
+
+
+class TestSimplexProjection:
+    def test_already_on_simplex(self):
+        vector = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_to_simplex(vector), vector, atol=1e-9)
+
+    def test_projection_properties(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            vector = rng.normal(size=8)
+            projected = project_to_simplex(vector)
+            assert projected.sum() == pytest.approx(1.0)
+            assert (projected >= -1e-12).all()
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            project_to_simplex(np.zeros((2, 2)))
+
+
+class TestTransitionEstimation:
+    def make_pairs(self, truth, count=12, noise=0.01, seed=0):
+        rng = np.random.default_rng(seed)
+        pairs = []
+        for _ in range(count):
+            x = rng.dirichlet(np.ones(truth.shape[0]))
+            y = truth @ x + rng.normal(0, noise, size=truth.shape[0])
+            y = np.clip(y, 1e-6, None)
+            pairs.append((x, y / y.sum()))
+        return pairs
+
+    @pytest.fixture
+    def truth(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.dirichlet(np.ones(6) * 0.5, size=6).T
+        return matrix
+
+    @pytest.mark.parametrize("method", ["slsqp", "projected"])
+    def test_recovers_transition_structure(self, truth, method):
+        pairs = self.make_pairs(truth)
+        estimate = estimate_transition_matrix(pairs, method=method)
+        np.testing.assert_allclose(estimate.sum(axis=0), 1.0, atol=1e-3)
+        # The estimate should predict better than assuming no transition.
+        x, y = pairs[-1]
+        identity_error = np.abs(y - x).sum()
+        estimate_error = np.abs(y - estimate @ x).sum()
+        assert estimate_error < identity_error
+
+    def test_auto_method_selection(self, truth):
+        pairs = self.make_pairs(truth)
+        estimate = estimate_transition_matrix(pairs, method="auto")
+        assert estimate.shape == (6, 6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_transition_matrix([])
+        with pytest.raises(ValueError):
+            estimate_transition_matrix([(np.ones(3), np.ones(4))])
+        with pytest.raises(ValueError):
+            estimate_transition_matrix([(np.ones(3), np.ones(3))], method="bogus")
+
+
+class TestCopilot:
+    @pytest.fixture
+    def loads(self):
+        gate = GateSimulator(MIXTRAL_8x7B, seed=5)
+        return [gate.expert_loads(step).copy() for step in range(0, 24, 2)]
+
+    def test_observe_and_predict_shapes(self, loads):
+        copilot = MixNetCopilot(num_layers=32, num_experts=8, window=6)
+        for snapshot in loads[:4]:
+            copilot.observe_iteration(snapshot)
+        predicted = copilot.predict_loads(1, loads[4][0])
+        assert predicted.shape == (8,)
+        assert predicted.sum() == pytest.approx(1.0)
+
+    def test_prediction_requires_observations(self):
+        copilot = MixNetCopilot(num_layers=4, num_experts=8)
+        with pytest.raises(ValueError):
+            copilot.predict_loads(1, np.ones(8) / 8)
+
+    def test_figure19_copilot_beats_baselines(self, loads):
+        """Figure 19: Copilot's top-k accuracy exceeds Random and Unmodified."""
+        copilot = MixNetCopilot(num_layers=32, num_experts=8, window=6)
+        reports = copilot.evaluate(loads, ks=(1, 2, 4), warmup=3)
+        for k in (1, 2, 4):
+            assert (
+                reports["MixNet-Copilot"].accuracy(k)
+                >= reports["Random"].accuracy(k)
+            )
+        assert reports["MixNet-Copilot"].accuracy(2) > 0.5
+
+    def test_top_k_hit(self):
+        predicted = np.array([0.4, 0.3, 0.2, 0.1])
+        actual = np.array([0.1, 0.2, 0.3, 0.4])
+        assert MixNetCopilot.top_k_hit(predicted, actual, 4) == 1.0
+        assert MixNetCopilot.top_k_hit(predicted, actual, 1) == 0.0
+        with pytest.raises(ValueError):
+            MixNetCopilot.top_k_hit(predicted, actual, 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MixNetCopilot(num_layers=1, num_experts=8)
+
+    def test_wrong_shape_observation(self):
+        copilot = MixNetCopilot(num_layers=4, num_experts=8)
+        with pytest.raises(ValueError):
+            copilot.observe_iteration(np.ones((3, 8)))
+
+    def test_window_truncates_history(self, loads):
+        copilot = MixNetCopilot(num_layers=32, num_experts=8, window=2)
+        for snapshot in loads[:6]:
+            copilot.observe_iteration(snapshot)
+        assert len(copilot._pairs[1]) == 2

@@ -1,0 +1,122 @@
+"""Tests for Algorithm 1 (greedy OCS reconfiguration)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import simulation_cluster
+from repro.core.reconfigure import (
+    calculate_server_demand,
+    find_bottleneck_link,
+    reconfigure_ocs,
+    uniform_allocation,
+)
+
+
+def demand_matrix(pairs, n=4):
+    demand = np.zeros((n, n))
+    for (i, j), volume in pairs.items():
+        demand[i, j] = volume
+    return demand
+
+
+class TestFindBottleneck:
+    def test_unallocated_pair_is_infinite_bottleneck(self):
+        demand = calculate_server_demand(demand_matrix({(0, 1): 10.0, (2, 3): 100.0}))
+        circuits = np.zeros((4, 4), dtype=int)
+        circuits[2, 3] = circuits[3, 2] = 1
+        assert find_bottleneck_link(demand, circuits) == (0, 1)
+
+    def test_ties_broken_by_demand(self):
+        demand = calculate_server_demand(demand_matrix({(0, 1): 10.0, (2, 3): 100.0}))
+        circuits = np.zeros((4, 4), dtype=int)
+        assert find_bottleneck_link(demand, circuits) == (2, 3)
+
+    def test_no_demand_returns_none(self):
+        assert find_bottleneck_link(np.zeros((3, 3)), np.zeros((3, 3), dtype=int)) is None
+
+
+class TestReconfigureOcs:
+    def test_heavy_pair_receives_more_circuits(self):
+        demand = demand_matrix({(0, 1): 900.0, (0, 2): 100.0, (1, 3): 100.0, (2, 3): 100.0})
+        allocation = reconfigure_ocs(demand, optical_degree=6, servers=[0, 1, 2, 3])
+        assert allocation.circuits_of(0, 1) > allocation.circuits_of(0, 2)
+        assert allocation.circuits_of(0, 1) >= 2
+
+    def test_optical_degree_respected(self):
+        rng = np.random.default_rng(1)
+        demand = rng.uniform(1.0, 10.0, size=(6, 6))
+        np.fill_diagonal(demand, 0.0)
+        for degree in (1, 2, 4, 6):
+            allocation = reconfigure_ocs(demand, degree, servers=list(range(6)))
+            for server in range(6):
+                assert allocation.degree_of(server) <= degree
+
+    def test_zero_degree_allocates_nothing(self):
+        demand = demand_matrix({(0, 1): 10.0})
+        allocation = reconfigure_ocs(demand, optical_degree=0, servers=[0, 1, 2, 3])
+        assert allocation.total_circuits() == 0
+
+    def test_direction_symmetry(self):
+        """TX and RX are provisioned together (upper-triangular demand)."""
+        demand = demand_matrix({(1, 0): 500.0})  # only reverse direction set
+        allocation = reconfigure_ocs(demand, optical_degree=2, servers=[0, 1, 2, 3])
+        assert allocation.circuits_of(0, 1) >= 1
+
+    def test_completion_time_estimate_improves_with_degree(self):
+        rng = np.random.default_rng(2)
+        demand = rng.uniform(1e8, 1e9, size=(4, 4))
+        np.fill_diagonal(demand, 0.0)
+        low = reconfigure_ocs(demand, 2, servers=[0, 1, 2, 3])
+        high = reconfigure_ocs(demand, 6, servers=[0, 1, 2, 3])
+        assert high.completion_time_estimate <= low.completion_time_estimate
+
+    def test_nic_mapping_matches_circuit_count(self):
+        demand = demand_matrix({(0, 1): 10.0, (2, 3): 5.0})
+        allocation = reconfigure_ocs(demand, optical_degree=4, servers=[0, 1, 2, 3])
+        assert len(allocation.nic_mapping) == allocation.total_circuits()
+
+    def test_nic_mapping_numa_balanced(self):
+        """Multiple circuits between the same pair use different NICs (step 4)."""
+        cluster = simulation_cluster(4)
+        demand = demand_matrix({(0, 1): 100.0}, n=2)
+        allocation = reconfigure_ocs(
+            demand, optical_degree=4, servers=[0, 1], cluster=cluster
+        )
+        endpoints_a = [a for (a, b) in allocation.nic_mapping]
+        nics_on_server0 = [nic for (server, nic) in endpoints_a if server == 0]
+        assert len(set(nics_on_server0)) == len(nics_on_server0)
+
+    def test_skip_saturated_pairs_allocates_more(self):
+        demand = demand_matrix(
+            {(0, 1): 1000.0, (0, 2): 900.0, (0, 3): 800.0, (1, 2): 10.0, (2, 3): 10.0}
+        )
+        strict = reconfigure_ocs(demand, 2, servers=[0, 1, 2, 3])
+        relaxed = reconfigure_ocs(demand, 2, servers=[0, 1, 2, 3], skip_saturated_pairs=True)
+        assert relaxed.total_circuits() >= strict.total_circuits()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            reconfigure_ocs(np.zeros((3, 3)), 2, servers=[0, 1])
+        with pytest.raises(ValueError):
+            reconfigure_ocs(np.zeros((2, 2)), -1, servers=[0, 1])
+
+    def test_server_ids_preserved(self):
+        demand = demand_matrix({(0, 1): 10.0}, n=2)
+        allocation = reconfigure_ocs(demand, 2, servers=[17, 42])
+        assert allocation.circuits_of(17, 42) >= 1
+        assert allocation.servers == (17, 42)
+
+
+class TestUniformAllocation:
+    def test_round_robin_respects_degree(self):
+        allocation = uniform_allocation(4, servers=[0, 1, 2, 3, 4])
+        for server in range(5):
+            assert allocation.degree_of(server) <= 4
+
+    def test_spreads_over_peers(self):
+        allocation = uniform_allocation(6, servers=list(range(4)))
+        assert len(allocation.circuits) >= 3
+
+    def test_single_server_or_zero_degree(self):
+        assert uniform_allocation(4, servers=[0]).total_circuits() == 0
+        assert uniform_allocation(0, servers=[0, 1]).total_circuits() == 0

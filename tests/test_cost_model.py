@@ -1,0 +1,130 @@
+"""Tests for the networking cost model (Table 4, Figures 11 and 24)."""
+
+import pytest
+
+from repro.cost import (
+    COMPONENT_PRICES,
+    COST_BANDWIDTHS,
+    FABRIC_NAMES,
+    FIGURE11_CLUSTER_SIZES,
+    LinkType,
+    NetworkingCostModel,
+    prices_for_bandwidth,
+)
+
+
+class TestComponentPrices:
+    def test_table4_rows(self):
+        assert set(COMPONENT_PRICES) == {100, 200, 400, 800}
+        row_400 = prices_for_bandwidth(400)
+        assert row_400.transceiver == 659.0
+        assert row_400.nic == 1499.0
+        assert row_400.electrical_switch_port == 1090.0
+        assert row_400.ocs_port == 520.0
+        assert row_400.patch_panel_port == 100.0
+
+    def test_prices_increase_with_bandwidth(self):
+        for component in ("transceiver", "nic", "electrical_switch_port"):
+            values = [getattr(prices_for_bandwidth(bw), component) for bw in COST_BANDWIDTHS]
+            assert values == sorted(values)
+
+    def test_ocs_port_price_flat(self):
+        """The OCS port cost does not grow with link rate - the root of
+        MixNet's growing cost advantage at higher bandwidths (§7.2)."""
+        assert len({prices_for_bandwidth(bw).ocs_port for bw in COST_BANDWIDTHS}) == 1
+
+    def test_unknown_bandwidth(self):
+        with pytest.raises(KeyError):
+            prices_for_bandwidth(123)
+
+    def test_link_cost_variants(self):
+        row = prices_for_bandwidth(400)
+        assert row.link_cost(LinkType.TRANSCEIVER_FIBER) > row.link_cost(LinkType.AOC_10M)
+        assert row.link_cost(LinkType.AOC_10M) > row.link_cost(LinkType.DAC_3M)
+
+
+class TestNetworkingCostModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return NetworkingCostModel()
+
+    def test_cost_scales_with_cluster_size(self, model):
+        for fabric in FABRIC_NAMES:
+            costs = [model.cost(fabric, size, 400).total for size in FIGURE11_CLUSTER_SIZES]
+            assert all(b > a for a, b in zip(costs, costs[1:])), fabric
+
+    def test_figure11_ordering_at_400g(self, model):
+        """Figure 11c: MixNet is much cheaper than Fat-tree / Rail-optimized."""
+        size = 8192
+        fat_tree = model.cost("Fat-tree", size, 400).total
+        rail = model.cost("Rail-optimized", size, 400).total
+        oversub = model.cost("OverSub. Fat-tree", size, 400).total
+        topoopt = model.cost("TopoOpt", size, 400).total
+        mixnet = model.cost("MixNet", size, 400).total
+        assert mixnet < fat_tree
+        assert mixnet < rail
+        assert oversub < fat_tree
+        assert topoopt < mixnet  # TopoOpt's patch panel is the cheapest (§7.2)
+        assert 1.8 < fat_tree / mixnet < 3.2
+
+    def test_cost_advantage_grows_with_bandwidth(self, model):
+        """§7.2/§7.4: the Fat-tree/MixNet cost ratio grows with link speed."""
+        ratios = [
+            model.cost("Fat-tree", 4096, bw).total / model.cost("MixNet", 4096, bw).total
+            for bw in COST_BANDWIDTHS
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[0] > 1.0
+
+    def test_absolute_magnitude_at_32k_gpus_100g(self, model):
+        """Figure 11a tops out around 60-90 M$ for Fat-tree at 32768 GPUs."""
+        total = model.cost("Fat-tree", 32768, 100).total_millions
+        assert 40 < total < 120
+
+    def test_rail_equals_fat_tree_budget(self, model):
+        assert model.cost("Rail-optimized", 2048, 400).total == pytest.approx(
+            model.cost("Fat-tree", 2048, 400).total
+        )
+
+    def test_oversub_cheaper_than_full_bisection(self, model):
+        assert (
+            model.cost("OverSub. Fat-tree", 2048, 400).total
+            < model.cost("Fat-tree", 2048, 400).total
+        )
+
+    def test_breakdown_components(self, model):
+        breakdown = model.cost("MixNet", 1024, 400)
+        assert breakdown.ocs_ports > 0
+        assert breakdown.switch_ports > 0
+        assert breakdown.total == pytest.approx(sum(breakdown.as_dict().values()) - breakdown.total)
+        assert breakdown.per_gpu() == pytest.approx(breakdown.total / 1024)
+
+    def test_topoopt_has_no_electrical_switches(self, model):
+        breakdown = model.cost("TopoOpt", 1024, 400)
+        assert breakdown.switch_ports == 0.0
+        assert breakdown.patch_panel_ports > 0.0
+
+    def test_figure24_link_options(self, model):
+        """Appendix D.3: DAC/AOC slightly reduce cost, MixNet stays cheaper."""
+        for link_type in (LinkType.TRANSCEIVER_FIBER, LinkType.AOC_10M, LinkType.DAC_3M):
+            fat = model.cost("Fat-tree", 4096, 400, link_type).total
+            mix = model.cost("MixNet", 4096, 400, link_type).total
+            assert fat / mix > 1.8
+        assert (
+            model.cost("Fat-tree", 4096, 400, LinkType.DAC_3M).total
+            < model.cost("Fat-tree", 4096, 400, LinkType.TRANSCEIVER_FIBER).total
+        )
+
+    def test_sweep_covers_all_points(self, model):
+        rows = model.sweep([1024, 2048], 100, fabrics=("Fat-tree", "MixNet"))
+        assert len(rows) == 4
+
+    def test_unknown_fabric_and_bad_gpu_count(self, model):
+        with pytest.raises(KeyError):
+            model.cost("Dragonfly", 1024, 400)
+        with pytest.raises(ValueError):
+            model.cost("Fat-tree", 1001, 400)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            NetworkingCostModel(mixnet_ocs_nics=8)

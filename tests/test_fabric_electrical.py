@@ -1,0 +1,100 @@
+"""Tests for the electrical fabrics (Fat-tree, OverSub, Rail-optimized)."""
+
+import pytest
+
+from repro.cluster import simulation_cluster
+from repro.fabric.base import GBPS_TO_BYTES_PER_S
+from repro.fabric.electrical import FatTreeFabric, RailOptimizedFabric
+
+
+@pytest.fixture
+def cluster():
+    return simulation_cluster(num_servers=8, nic_bandwidth_gbps=400.0)
+
+
+class TestFatTree:
+    def test_default_name_and_oversub(self, cluster):
+        assert FatTreeFabric(cluster).name == "Fat-tree"
+        assert FatTreeFabric(cluster, oversubscription=3.0).name == "OverSub. Fat-tree"
+
+    def test_invalid_oversubscription(self, cluster):
+        with pytest.raises(ValueError):
+            FatTreeFabric(cluster, oversubscription=0.5)
+
+    def test_region_links_exist_and_validate(self, cluster):
+        region = FatTreeFabric(cluster).build_region([0, 1, 2, 3])
+        region.validate()
+        assert "nvs:s0" in region.links
+        assert "up:s2" in region.links
+        assert region.intra_link(1) == "nvs:s1"
+
+    def test_server_uplink_capacity_is_full_nic_bundle(self, cluster):
+        region = FatTreeFabric(cluster).build_region([0, 1])
+        assert region.links["up:s0"].capacity_gbps == pytest.approx(8 * 400.0)
+
+    def test_oversubscription_reduces_trunk_capacity(self, cluster):
+        blocking = FatTreeFabric(cluster, oversubscription=3.0).build_region([0, 1])
+        nonblocking = FatTreeFabric(cluster, oversubscription=1.0).build_region([0, 1])
+        trunk_blocking = blocking.links["core:t0:up"].capacity_gbps
+        trunk_nonblocking = nonblocking.links["core:t0:up"].capacity_gbps
+        assert trunk_blocking == pytest.approx(trunk_nonblocking / 3.0)
+
+    def test_paths_include_nvswitch_hops(self, cluster):
+        region = FatTreeFabric(cluster).build_region([0, 1, 2])
+        path = region.ep_path(0, 2)
+        assert path[0] == "nvs:s0"
+        assert path[-1] == "nvs:s2"
+        assert "up:s0" in path and "down:s2" in path
+
+    def test_ep_and_eps_paths_identical(self, cluster):
+        region = FatTreeFabric(cluster).build_region([0, 1, 2])
+        assert region.ep_path(1, 2) == region.eps_path(1, 2)
+
+    def test_same_server_path_is_nvswitch(self, cluster):
+        region = FatTreeFabric(cluster).build_region([0, 1])
+        assert region.ep_path(0, 0) == ["nvs:s0"]
+
+    def test_unknown_pair_raises(self, cluster):
+        region = FatTreeFabric(cluster).build_region([0, 1])
+        with pytest.raises(KeyError):
+            region.ep_path(0, 5)
+
+    def test_cross_tor_path_crosses_core(self, cluster):
+        fabric = FatTreeFabric(cluster, servers_per_tor=2)
+        region = fabric.build_region([0, 1, 2, 3])
+        same_tor = region.ep_path(0, 1)
+        cross_tor = region.ep_path(0, 2)
+        assert not any(link.startswith("core:") for link in same_tor)
+        assert any(link.startswith("core:") for link in cross_tor)
+
+    def test_capacity_bytes_conversion(self, cluster):
+        region = FatTreeFabric(cluster).build_region([0])
+        link = region.links["nvs:s0"]
+        assert link.capacity_bytes_per_s == pytest.approx(
+            link.capacity_gbps * GBPS_TO_BYTES_PER_S
+        )
+
+
+class TestRailOptimized:
+    def test_regional_traffic_avoids_core(self, cluster):
+        region = RailOptimizedFabric(cluster).build_region([0, 1, 2, 3])
+        for src in range(4):
+            for dst in range(4):
+                if src != dst:
+                    assert not any(
+                        link.startswith("core:") for link in region.ep_path(src, dst)
+                    )
+
+    def test_cross_group_traffic_crosses_spine(self, cluster):
+        fabric = RailOptimizedFabric(cluster, servers_per_rail_group=2)
+        region = fabric.build_region([0, 1, 2, 3])
+        assert any(link.startswith("core:") for link in region.ep_path(0, 3))
+
+    def test_describe(self, cluster):
+        info = RailOptimizedFabric(cluster).describe()
+        assert info["name"] == "Rail-optimized"
+        assert info["reconfigurable"] is False
+
+    def test_invalid_rail_group(self, cluster):
+        with pytest.raises(ValueError):
+            RailOptimizedFabric(cluster, servers_per_rail_group=0)

@@ -1,0 +1,89 @@
+"""Tests for the MixNet fabric and its reconfigurable region view."""
+
+import pytest
+
+from repro.cluster import ServerSpec, ClusterSpec, simulation_cluster
+from repro.fabric.mixnet import MixNetFabric
+from repro.fabric.ocs import PIEZO_POLATIS, ROTORNET
+
+
+@pytest.fixture
+def cluster():
+    return simulation_cluster(num_servers=8, nic_bandwidth_gbps=400.0, ocs_nics=6)
+
+
+@pytest.fixture
+def fabric(cluster):
+    return MixNetFabric(cluster)
+
+
+class TestFabricConstruction:
+    def test_degrees(self, fabric):
+        assert fabric.optical_degree == 6
+        assert fabric.eps_degree == 2
+        assert fabric.reconfigurable is True
+
+    def test_eps_bandwidth_only_counts_eps_nics(self, fabric):
+        assert fabric.eps_bandwidth_per_server_gbps() == pytest.approx(2 * 400.0)
+
+    def test_requires_both_fabrics(self):
+        all_ocs = ClusterSpec(2, ServerSpec(ocs_nics=8))
+        with pytest.raises(ValueError):
+            MixNetFabric(all_ocs)
+        all_eps = ClusterSpec(2, ServerSpec(ocs_nics=0))
+        with pytest.raises(ValueError):
+            MixNetFabric(all_eps)
+
+    def test_ocs_ports_for_region(self, fabric):
+        assert fabric.ocs_ports_for_region(8) == 48
+
+    def test_describe_includes_ocs_details(self, fabric):
+        info = fabric.describe()
+        assert info["optical_degree"] == 6
+        assert info["ocs_technology"] == PIEZO_POLATIS.name
+
+
+class TestRegionReconfiguration:
+    def test_initial_region_has_no_circuits(self, fabric):
+        region = fabric.build_region([0, 1, 2, 3])
+        region.validate()
+        assert region.circuits == {}
+        # Without circuits, EP traffic takes the EPS path.
+        assert region.ep_path(0, 1) == region.eps_path(0, 1)
+
+    def test_apply_circuits_creates_optical_paths(self, fabric):
+        region = fabric.build_region([0, 1, 2, 3])
+        delay = region.apply_circuits({(0, 1): 2, (2, 3): 1})
+        assert delay == pytest.approx(PIEZO_POLATIS.reconfiguration_delay_s)
+        assert region.circuit_count(0, 1) == 2
+        assert region.ep_path(0, 1) == ["nvs:s0", "ocs:s0->s1", "nvs:s1"]
+        assert region.links["ocs:s0->s1"].capacity_gbps == pytest.approx(800.0)
+        # Pairs without circuits still fall back to EPS.
+        assert region.ep_path(0, 2) == region.eps_path(0, 2)
+
+    def test_reconfiguration_replaces_previous_circuits(self, fabric):
+        region = fabric.build_region([0, 1, 2, 3])
+        region.apply_circuits({(0, 1): 2})
+        region.apply_circuits({(2, 3): 3})
+        assert region.circuit_count(0, 1) == 0
+        assert "ocs:s0->s1" not in region.links
+        assert region.circuit_count(2, 3) == 3
+
+    def test_identical_reconfiguration_costs_nothing(self, fabric):
+        region = fabric.build_region([0, 1, 2, 3])
+        region.apply_circuits({(0, 1): 1})
+        assert region.apply_circuits({(1, 0): 1}) == 0.0
+
+    def test_eps_path_always_available(self, fabric):
+        region = fabric.build_region([4, 5, 6, 7])
+        region.apply_circuits({(4, 5): 6})
+        assert "up:s6" in region.eps_path(6, 7)
+
+    def test_faster_ocs_technology(self, cluster):
+        fabric = MixNetFabric(cluster, ocs_technology=ROTORNET)
+        region = fabric.build_region([0, 1])
+        assert region.apply_circuits({(0, 1): 1}) == pytest.approx(10e-6)
+
+    def test_eps_uplink_capacity_uses_eps_nics_only(self, fabric):
+        region = fabric.build_region([0, 1])
+        assert region.links["up:s0"].capacity_gbps == pytest.approx(800.0)

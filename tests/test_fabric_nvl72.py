@@ -1,0 +1,62 @@
+"""Tests for the NVL72 / optical-I/O scale-up comparison (§8, Figure 16)."""
+
+import pytest
+
+from repro.fabric.nvl72 import (
+    ScaleUpComparison,
+    ScaleUpConfig,
+    mixnet_optical_io_config,
+    nvl72_config,
+)
+from repro.moe.models import DEEPSEEK_V3
+
+
+class TestScaleUpConfig:
+    def test_nvl72_bandwidth_split(self):
+        config = nvl72_config(8.0)
+        assert config.nvlink_tbps == pytest.approx(7.2)
+        assert config.optical_tbps == 0.0
+
+    def test_mixnet_splits_non_ethernet_evenly(self):
+        config = mixnet_optical_io_config(8.0)
+        assert config.nvlink_tbps == pytest.approx(3.6)
+        assert config.optical_tbps == pytest.approx(3.6)
+
+    def test_custom_budget(self):
+        config = ScaleUpConfig("x", total_gpu_io_tbps=16.0, optical_share=0.5)
+        assert config.non_ethernet_tbps == pytest.approx(15.2)
+
+
+class TestScaleUpComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return ScaleUpComparison(DEEPSEEK_V3)
+
+    def test_traffic_split_for_ep128_on_64_gpu_domains(self, comparison):
+        split = comparison.traffic_split(domain_size=64)
+        assert split["intra"] == pytest.approx(0.5)
+        assert split["cross"] == pytest.approx(0.5)
+
+    def test_mixnet_optical_io_faster(self, comparison):
+        """Figure 16: MixNet with optical I/O lowers iteration time vs NVL72."""
+        result = comparison.compare(total_gpu_io_tbps=8.0)
+        assert result["MixNet (w/ optical I/O)"] < 1.0
+        assert result["speedup"] > 1.0
+
+    def test_speedup_magnitude_reasonable(self, comparison):
+        """The paper reports about 1.3x at 8 Tbps."""
+        result = comparison.compare(total_gpu_io_tbps=8.0)
+        assert 1.1 < result["speedup"] < 2.0
+
+    def test_gain_persists_at_16_tbps(self, comparison):
+        result = comparison.compare(total_gpu_io_tbps=16.0)
+        assert result["speedup"] > 1.0
+
+    def test_cross_domain_bound_by_ethernet_for_nvl72(self, comparison):
+        nvl = comparison.all_to_all_time(nvl72_config(8.0))
+        mix = comparison.all_to_all_time(mixnet_optical_io_config(8.0))
+        assert nvl > mix
+
+    def test_invalid_ep_degree(self):
+        with pytest.raises(ValueError):
+            ScaleUpComparison(DEEPSEEK_V3, ep_degree=0)

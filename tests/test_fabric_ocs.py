@@ -1,0 +1,107 @@
+"""Tests for the OCS device catalogue (Table 2) and the switch model."""
+
+import pytest
+
+from repro.fabric.ocs import (
+    MEMS_3D_CALIENT,
+    OCS_CATALOGUE,
+    PIEZO_POLATIS,
+    PLZT,
+    ROBOTIC_PATCH_PANEL,
+    ROTORNET,
+    SILICON_PHOTONICS,
+    OCSTechnology,
+    OpticalCircuitSwitch,
+    select_technology,
+)
+
+
+class TestCatalogue:
+    def test_table2_rows_present(self):
+        assert len(OCS_CATALOGUE) == 7
+        names = [tech.name for tech in OCS_CATALOGUE]
+        assert any("Polatis" in name for name in names)
+        assert any("Telescent" in name for name in names)
+
+    def test_port_count_vs_delay_tradeoff(self):
+        """Table 2: more ports means slower reconfiguration across the catalogue."""
+        sorted_by_ports = sorted(OCS_CATALOGUE, key=lambda t: t.port_count)
+        delays = [t.reconfiguration_delay_s for t in sorted_by_ports]
+        # The largest-radix device (robotic patch panel) is the slowest and the
+        # smallest-radix device (PLZT) is the fastest.
+        assert delays[-1] == max(delays)
+        assert delays[0] == min(delays)
+        assert ROBOTIC_PATCH_PANEL.reconfiguration_delay_s > PIEZO_POLATIS.reconfiguration_delay_s
+        assert PLZT.reconfiguration_delay_s < SILICON_PHOTONICS.reconfiguration_delay_s
+
+    def test_specific_values(self):
+        assert PIEZO_POLATIS.port_count == 576
+        assert PIEZO_POLATIS.reconfiguration_delay_s == pytest.approx(0.025)
+        assert MEMS_3D_CALIENT.port_count == 320
+        assert ROTORNET.reconfiguration_delay_s == pytest.approx(10e-6)
+
+    def test_supports_radix(self):
+        assert PIEZO_POLATIS.supports_radix(500)
+        assert not PLZT.supports_radix(64)
+
+
+class TestSelectTechnology:
+    def test_fast_regional_selection(self):
+        """A 64-port regional slice with a 25 ms budget lands on a MEMS/piezo OCS."""
+        tech = select_technology(64, max_delay_s=0.025)
+        assert tech.reconfiguration_delay_s <= 0.025
+        assert tech.supports_radix(64)
+
+    def test_large_radix_requires_slow_device(self):
+        tech = select_technology(1000)
+        assert tech is ROBOTIC_PATCH_PANEL
+
+    def test_impossible_combination(self):
+        """The fundamental trade-off: thousands of ports at microsecond delay
+        does not exist among commodity devices (the paper's motivation)."""
+        with pytest.raises(ValueError):
+            select_technology(1000, max_delay_s=0.001)
+
+
+class TestOpticalCircuitSwitch:
+    def test_radix_validation(self):
+        with pytest.raises(ValueError):
+            OpticalCircuitSwitch(technology=PLZT, num_ports=64)
+        with pytest.raises(ValueError):
+            OpticalCircuitSwitch(num_ports=0)
+
+    def test_reconfigure_returns_delay_and_tracks_state(self):
+        ocs = OpticalCircuitSwitch(num_ports=16)
+        delay = ocs.reconfigure({(0, 1): 2, (1, 2): 1})
+        assert delay == pytest.approx(PIEZO_POLATIS.reconfiguration_delay_s)
+        assert ocs.circuit_count(0, 1) == 2
+        assert ocs.circuit_count(1, 0) == 2
+        assert ocs.circuit_count(0, 2) == 0
+        assert ocs.ports_in_use() == 6
+        assert ocs.reconfiguration_count == 1
+
+    def test_identical_mapping_is_free(self):
+        ocs = OpticalCircuitSwitch(num_ports=16)
+        ocs.reconfigure({(0, 1): 1})
+        assert ocs.reconfigure({(1, 0): 1}) == 0.0
+        assert ocs.reconfiguration_count == 1
+
+    def test_port_budget_enforced(self):
+        ocs = OpticalCircuitSwitch(num_ports=4)
+        with pytest.raises(ValueError):
+            ocs.reconfigure({(0, 1): 2, (2, 3): 1})
+
+    def test_self_circuit_rejected(self):
+        ocs = OpticalCircuitSwitch(num_ports=8)
+        with pytest.raises(ValueError):
+            ocs.reconfigure({(1, 1): 1})
+
+    def test_zero_count_circuits_dropped(self):
+        ocs = OpticalCircuitSwitch(num_ports=8)
+        ocs.reconfigure({(0, 1): 1, (2, 3): 0})
+        assert ocs.circuits == {(0, 1): 1}
+
+    def test_technology_immutable_record(self):
+        tech = OCSTechnology("test", 8, 0.001)
+        with pytest.raises(AttributeError):
+            tech.port_count = 16  # type: ignore[misc]

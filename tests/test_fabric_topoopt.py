@@ -1,0 +1,81 @@
+"""Tests for the TopoOpt baseline fabric."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import simulation_cluster
+from repro.fabric.topoopt import TopoOptFabric, degree_constrained_topology
+
+
+@pytest.fixture
+def cluster():
+    return simulation_cluster(num_servers=8, nic_bandwidth_gbps=400.0)
+
+
+class TestDegreeConstrainedTopology:
+    def test_ring_always_present(self):
+        servers = [0, 1, 2, 3]
+        demand = np.zeros((4, 4))
+        links = degree_constrained_topology(demand, degree=2, servers=servers)
+        ring_pairs = {(0, 1), (1, 2), (2, 3), (0, 3)}
+        assert set(links) == ring_pairs
+
+    def test_degree_respected(self):
+        rng = np.random.default_rng(0)
+        servers = list(range(6))
+        demand = rng.uniform(size=(6, 6))
+        degree = 4
+        links = degree_constrained_topology(demand, degree, servers)
+        used = {s: 0 for s in servers}
+        for (a, b), count in links.items():
+            used[a] += count
+            used[b] += count
+        assert all(value <= degree for value in used.values())
+
+    def test_heavy_pair_gets_extra_links(self):
+        servers = [0, 1, 2, 3]
+        demand = np.zeros((4, 4))
+        demand[0, 2] = 1e9  # heavy non-ring pair
+        links = degree_constrained_topology(demand, degree=4, servers=servers)
+        assert links.get((0, 2), 0) >= 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            degree_constrained_topology(np.zeros((3, 3)), 4, [0, 1])
+
+    def test_degree_too_small(self):
+        with pytest.raises(ValueError):
+            degree_constrained_topology(np.zeros((4, 4)), 1, [0, 1, 2, 3])
+
+
+class TestTopoOptFabric:
+    def test_region_is_connected(self, cluster):
+        region = TopoOptFabric(cluster).build_region([0, 1, 2, 3, 4, 5, 6, 7])
+        region.validate()
+        for src in range(8):
+            for dst in range(8):
+                if src != dst:
+                    assert region.ep_path(src, dst)
+
+    def test_direct_links_preferred_for_hot_pairs(self, cluster):
+        demand = np.zeros((4, 4))
+        demand[0, 3] = 1e9
+        region = TopoOptFabric(cluster).build_region([0, 1, 2, 3], demand_hint=demand)
+        path = region.ep_path(0, 3)
+        assert "direct:s0->s3" in path
+
+    def test_multi_hop_paths_traverse_intermediate_nvswitch(self, cluster):
+        """Pairs without a direct link are forwarded through relay servers."""
+        fabric = TopoOptFabric(cluster, reserved_global_links=6)  # degree 2 => ring only
+        region = fabric.build_region([0, 1, 2, 3])
+        path = region.ep_path(0, 2)
+        hops = [link for link in path if link.startswith("direct:")]
+        assert len(hops) == 2  # two ring hops to reach the opposite server
+        assert "nvs:s1" in path or "nvs:s3" in path
+
+    def test_reserved_links_validation(self, cluster):
+        with pytest.raises(ValueError):
+            TopoOptFabric(cluster, reserved_global_links=8)
+
+    def test_not_reconfigurable(self, cluster):
+        assert TopoOptFabric(cluster).reconfigurable is False

@@ -1,0 +1,155 @@
+"""Tests for the synthetic gate simulator (the §3 measurement substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.locality import temporal_variability
+from repro.moe.gate import GateDynamicsConfig, GateSimulator, expert_load_variability
+from repro.moe.models import MIXTRAL_8x7B, QWEN_MOE
+
+
+@pytest.fixture
+def gate():
+    return GateSimulator(MIXTRAL_8x7B, seed=7)
+
+
+class TestExpertLoads:
+    def test_shape_and_normalisation(self, gate):
+        loads = gate.expert_loads(0)
+        assert loads.shape == (32, 8)
+        np.testing.assert_allclose(loads.sum(axis=1), 1.0, atol=1e-9)
+        assert (loads > 0).all()
+
+    def test_loads_vary_across_iterations(self, gate):
+        """Figure 4a: activation intensities differ between iterations."""
+        first = gate.expert_loads(0).copy()
+        later = gate.expert_loads(50)
+        assert not np.allclose(first, later)
+
+    def test_loads_vary_across_layers(self, gate):
+        """Figure 18: token distribution differs across MoE blocks."""
+        loads = gate.expert_loads(0)
+        assert not np.allclose(loads[0], loads[1])
+
+    def test_cannot_rewind(self, gate):
+        gate.expert_loads(10)
+        with pytest.raises(ValueError):
+            gate.expert_loads(5)
+
+    def test_load_balancing_reduces_variability(self):
+        """Figure 4a: the spread between experts shrinks as training progresses."""
+        gate = GateSimulator(MIXTRAL_8x7B, seed=3)
+        history = []
+        for step in range(0, 8001, 500):
+            history.append(gate.expert_loads(step)[0])
+        variability = expert_load_variability(np.stack(history))
+        assert variability[-1] < variability[0]
+
+    def test_loads_never_fully_uniform(self):
+        """Even late in training the matrices stay sparse/non-uniform (§3)."""
+        gate = GateSimulator(MIXTRAL_8x7B, seed=3)
+        late = gate.expert_loads(8000)
+        assert late.std(axis=1).max() > 1e-3
+
+    def test_determinism_with_seed(self):
+        a = GateSimulator(MIXTRAL_8x7B, seed=11).expert_loads(5)
+        b = GateSimulator(MIXTRAL_8x7B, seed=11).expert_loads(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = GateSimulator(MIXTRAL_8x7B, seed=1).expert_loads(0)
+        b = GateSimulator(MIXTRAL_8x7B, seed=2).expert_loads(0)
+        assert not np.allclose(a, b)
+
+
+class TestTransitionStructure:
+    def test_transition_matrices_column_stochastic(self, gate):
+        for layer in (0, 10, 30):
+            matrix = gate.transition_matrix(layer)
+            np.testing.assert_allclose(matrix.sum(axis=0), 1.0, atol=1e-6)
+
+    def test_last_layer_has_no_transition(self, gate):
+        with pytest.raises(ValueError):
+            gate.transition_matrix(31)
+
+    def test_consecutive_layers_are_correlated(self, gate):
+        """Appendix B.1: the next layer's loads depend on the previous layer's."""
+        loads = gate.expert_loads(0)
+        predicted = gate.transition_matrix(0) @ loads[0]
+        baseline_error = np.abs(loads[1] - np.full(8, 1 / 8)).sum()
+        prediction_error = np.abs(loads[1] - predicted).sum()
+        assert prediction_error < baseline_error
+
+
+class TestTrafficMatrix:
+    def test_matrix_shape_and_positivity(self, gate):
+        loads = gate.expert_loads(0)
+        matrix = gate.rank_traffic_matrix(loads[0])
+        assert matrix.shape == (8, 8)
+        assert (matrix >= 0).all()
+
+    def test_total_dispatch_volume(self, gate):
+        """Each rank dispatches tokens*top_k hidden vectors sharded over TP."""
+        loads = gate.expert_loads(0)
+        matrix = gate.rank_traffic_matrix(loads[0])
+        expected_per_rank = (
+            MIXTRAL_8x7B.tokens_per_micro_batch
+            * MIXTRAL_8x7B.top_k
+            * MIXTRAL_8x7B.token_hidden_bytes
+            / MIXTRAL_8x7B.tp_degree
+        )
+        np.testing.assert_allclose(matrix.sum(axis=1), expected_per_rank, rtol=1e-9)
+
+    def test_matrix_is_non_uniform(self, gate):
+        """Figure 4b: heavy communication between only a few pairs."""
+        loads = gate.expert_loads(0)
+        matrix = gate.rank_traffic_matrix(loads[0], sender_seed=5)
+        off_diag = matrix[~np.eye(8, dtype=bool)]
+        assert off_diag.max() > 3.0 * off_diag.mean()
+
+    def test_sender_seed_reproducible(self, gate):
+        loads = gate.expert_loads(0)
+        a = gate.rank_traffic_matrix(loads[0], sender_seed=42)
+        b = gate.rank_traffic_matrix(loads[0], sender_seed=42)
+        np.testing.assert_allclose(a, b)
+
+    def test_bad_load_shape_rejected(self, gate):
+        with pytest.raises(ValueError):
+            gate.rank_traffic_matrix(np.ones(4))
+
+    def test_iteration_traffic_covers_all_layers(self):
+        gate = GateSimulator(QWEN_MOE, seed=0)
+        matrices = gate.iteration_traffic(0)
+        assert len(matrices) == QWEN_MOE.num_moe_blocks
+        assert matrices[0].shape == (16, 16)
+
+
+class TestVariabilityHelpers:
+    def test_expert_load_variability_shape(self):
+        history = np.random.default_rng(0).dirichlet(np.ones(8), size=20)
+        cv = expert_load_variability(history)
+        assert cv.shape == (20,)
+        assert (cv >= 0).all()
+
+    def test_expert_load_variability_rejects_1d(self):
+        with pytest.raises(ValueError):
+            expert_load_variability(np.ones(8))
+
+    def test_temporal_variability_summary(self):
+        gate = GateSimulator(MIXTRAL_8x7B, seed=5)
+        history = np.stack([gate.expert_loads(step)[0] for step in range(0, 200, 20)])
+        stats = temporal_variability(history)
+        assert stats["mean_step_change"] > 0
+
+
+class TestDynamicsConfig:
+    def test_advance_negative_rejected(self, gate):
+        with pytest.raises(ValueError):
+            gate.advance(-1)
+
+    def test_custom_dynamics_respected(self):
+        dynamics = GateDynamicsConfig(final_balance=0.0, drift_std=0.0)
+        gate = GateSimulator(MIXTRAL_8x7B, dynamics=dynamics, seed=0)
+        early = gate.expert_loads(0)[0].copy()
+        late = GateSimulator(MIXTRAL_8x7B, dynamics=dynamics, seed=0).expert_loads(0)[0]
+        np.testing.assert_allclose(early, late)

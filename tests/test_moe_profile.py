@@ -1,0 +1,121 @@
+"""Tests for the analytic compute profiler (Figure 3 / 17 substitute)."""
+
+import pytest
+
+from repro.cluster import A100, H800
+from repro.moe.models import LLAMA_MOE, MIXTRAL_8x7B, QWEN_MOE
+from repro.moe.profile import (
+    BACKWARD_COMPUTE_RATIO,
+    ComputeProfiler,
+    all_to_all_phase_time,
+)
+
+
+@pytest.fixture
+def profiler():
+    return ComputeProfiler(gpu=H800)
+
+
+class TestBlockProfile:
+    def test_expert_compute_exceeds_reconfiguration_delay(self, profiler):
+        """The key Figure 3 observation: expert computation at micro-batch 8
+        takes far longer than the 25 ms OCS reconfiguration delay."""
+        profile = profiler.block_profile(MIXTRAL_8x7B, micro_batch_size=8)
+        assert profile.experts > 0.025
+        assert profile.experts > 0.08
+
+    def test_phase_ordering(self, profiler):
+        profile = profiler.block_profile(MIXTRAL_8x7B)
+        assert profile.experts > profile.attention > profile.gate
+        assert profile.add_norm < profile.attention
+
+    def test_backward_ratio(self, profiler):
+        profile = profiler.block_profile(MIXTRAL_8x7B)
+        assert profile.backward_compute == pytest.approx(
+            BACKWARD_COMPUTE_RATIO * profile.forward_compute
+        )
+
+    def test_durations_scale_with_micro_batch(self, profiler):
+        small = profiler.block_profile(MIXTRAL_8x7B, micro_batch_size=8)
+        large = profiler.block_profile(MIXTRAL_8x7B, micro_batch_size=32)
+        assert large.experts == pytest.approx(4.0 * small.experts, rel=1e-6)
+
+    def test_slower_gpu_takes_longer(self):
+        h800 = ComputeProfiler(gpu=H800).block_profile(MIXTRAL_8x7B)
+        a100 = ComputeProfiler(gpu=A100).block_profile(MIXTRAL_8x7B)
+        assert a100.experts > h800.experts
+
+    def test_invalid_micro_batch(self, profiler):
+        with pytest.raises(ValueError):
+            profiler.block_profile(MIXTRAL_8x7B, micro_batch_size=0)
+
+    def test_unknown_efficiency_phase_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeProfiler(efficiency={"bogus": 0.5})
+
+    def test_phase_durations_dict(self, profiler):
+        durations = profiler.block_profile(MIXTRAL_8x7B).phase_durations()
+        assert set(durations) == {"attention", "gate", "experts", "add_norm"}
+
+
+class TestIterationCompute:
+    def test_iteration_time_positive_and_scales(self, profiler):
+        base = profiler.iteration_compute_time(MIXTRAL_8x7B)
+        doubled = profiler.iteration_compute_time(MIXTRAL_8x7B, num_micro_batches=8)
+        assert base > 0
+        assert doubled == pytest.approx(2.0 * base)
+
+
+class TestTimeline:
+    def test_timeline_covers_all_phases(self, profiler):
+        timeline = profiler.timeline(MIXTRAL_8x7B, [8, 16, 32], all_to_all_time_fn=None)
+        assert set(timeline) == {8, 16, 32}
+        assert set(timeline[8]) == {
+            "attention",
+            "gate",
+            "all_to_all_dispatch",
+            "experts",
+            "all_to_all_combine",
+            "add_norm",
+        }
+
+    def test_timeline_with_communication(self, profiler):
+        timeline = profiler.timeline(
+            MIXTRAL_8x7B,
+            [8],
+            all_to_all_time_fn=lambda model, mbs: all_to_all_phase_time(model, mbs),
+        )
+        assert timeline[8]["all_to_all_dispatch"] > 0
+
+    def test_figure3_all_to_all_share(self, profiler):
+        """EP all-to-all should be a significant share of the forward pass at
+        400 Gbps (33–55 % in the paper's production measurements)."""
+        mbs = 8
+        profile = profiler.block_profile(MIXTRAL_8x7B, mbs)
+        a2a = all_to_all_phase_time(MIXTRAL_8x7B, mbs, nic_bandwidth_gbps=400.0)
+        total = profile.forward_compute + 2 * a2a
+        share = 2 * a2a / total
+        assert 0.1 < share < 0.7
+
+
+class TestAllToAllPhaseTime:
+    def test_decreases_with_bandwidth(self):
+        slow = all_to_all_phase_time(MIXTRAL_8x7B, 8, nic_bandwidth_gbps=100.0)
+        fast = all_to_all_phase_time(MIXTRAL_8x7B, 8, nic_bandwidth_gbps=400.0)
+        assert slow == pytest.approx(4.0 * fast)
+
+    def test_llama_and_qwen_more_ep_bound(self):
+        """Figure 17: the models with tp=1 spend relatively more time in EP."""
+        profiler = ComputeProfiler(gpu=H800)
+        for model in (LLAMA_MOE, QWEN_MOE):
+            profile = profiler.block_profile(model, 8)
+            a2a = all_to_all_phase_time(model, 8, nic_bandwidth_gbps=400.0)
+            share = 2 * a2a / (profile.forward_compute + 2 * a2a)
+            mixtral_profile = profiler.block_profile(MIXTRAL_8x7B, 8)
+            mixtral_a2a = all_to_all_phase_time(MIXTRAL_8x7B, 8, nic_bandwidth_gbps=400.0)
+            mixtral_share = 2 * mixtral_a2a / (mixtral_profile.forward_compute + 2 * mixtral_a2a)
+            assert share > mixtral_share, model.name
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            all_to_all_phase_time(MIXTRAL_8x7B, 8, nic_bandwidth_gbps=0.0)

@@ -1,0 +1,69 @@
+"""Tests for training-trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.moe.models import MIXTRAL_8x7B
+from repro.moe.trace import IterationRecord, TrainingTrace, generate_trace
+
+
+class TestGenerateTrace:
+    def test_record_count_with_sampling(self):
+        trace = generate_trace(MIXTRAL_8x7B, num_iterations=100, sample_every=10, seed=0)
+        assert len(trace) == 10
+        assert trace.iterations() == list(range(0, 100, 10))
+
+    def test_layer_subset(self):
+        trace = generate_trace(MIXTRAL_8x7B, num_iterations=3, layers=[0, 1], seed=0)
+        assert trace[0].num_layers == 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generate_trace(MIXTRAL_8x7B, num_iterations=0)
+        with pytest.raises(ValueError):
+            generate_trace(MIXTRAL_8x7B, num_iterations=10, sample_every=0)
+        with pytest.raises(ValueError):
+            generate_trace(MIXTRAL_8x7B, num_iterations=10, layers=[99])
+
+    def test_deterministic_given_seed(self):
+        a = generate_trace(MIXTRAL_8x7B, num_iterations=5, seed=3, layers=[0])
+        b = generate_trace(MIXTRAL_8x7B, num_iterations=5, seed=3, layers=[0])
+        np.testing.assert_allclose(a[2].traffic_matrices[0], b[2].traffic_matrices[0])
+
+    def test_matrices_match_model_ep_degree(self):
+        trace = generate_trace(MIXTRAL_8x7B, num_iterations=2, layers=[0], seed=0)
+        assert trace[0].traffic_matrices[0].shape == (8, 8)
+
+
+class TestIterationRecord:
+    @pytest.fixture
+    def record(self):
+        return generate_trace(MIXTRAL_8x7B, num_iterations=1, layers=[0, 1, 2], seed=1)[0]
+
+    def test_total_all_to_all_counts_four_phases(self, record):
+        single = sum(m.sum() for m in record.traffic_matrices)
+        assert record.total_all_to_all_bytes() == pytest.approx(4.0 * single)
+
+    def test_layer_matrix_bounds(self, record):
+        with pytest.raises(ValueError):
+            record.layer_matrix(3)
+
+    def test_per_expert_receive_bytes(self, record):
+        received = record.per_expert_receive_bytes(MIXTRAL_8x7B.experts_per_ep_rank)
+        assert received.shape == (8,)
+        assert received.sum() == pytest.approx(sum(m.sum() for m in record.traffic_matrices))
+
+
+class TestTrainingTrace:
+    def test_histories(self):
+        trace = generate_trace(MIXTRAL_8x7B, num_iterations=30, sample_every=10, layers=[0, 1], seed=0)
+        loads = trace.expert_load_history(layer=0)
+        assert loads.shape == (3, 8)
+        matrices = trace.traffic_history(layer=1)
+        assert matrices.shape == (3, 8, 8)
+
+    def test_iteration_and_indexing(self):
+        trace = generate_trace(MIXTRAL_8x7B, num_iterations=4, layers=[0], seed=0)
+        assert isinstance(trace[0], IterationRecord)
+        assert isinstance(trace, TrainingTrace)
+        assert len(list(iter(trace))) == 4

@@ -1,0 +1,115 @@
+"""Tests for per-parallelism traffic volumes and the GPU traffic matrix."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.locality import locality_fraction
+from repro.cluster import simulation_cluster
+from repro.moe.models import LLAMA_MOE, MIXTRAL_8x7B, QWEN_MOE
+from repro.moe.parallelism import ParallelismPlan
+from repro.moe.traffic import (
+    activation_bytes,
+    dp_bytes_per_gpu,
+    ep_bytes_per_gpu_per_block,
+    gpu_traffic_matrix,
+    pp_bytes_per_boundary,
+    server_traffic_matrix,
+    tp_bytes_per_gpu_per_block,
+    traffic_breakdown,
+)
+
+
+class TestPerParallelismVolumes:
+    def test_tp_zero_when_degree_one(self):
+        assert tp_bytes_per_gpu_per_block(LLAMA_MOE) == 0.0
+        assert tp_bytes_per_gpu_per_block(MIXTRAL_8x7B) > 0.0
+
+    def test_ep_volume_scales_with_top_k(self):
+        low = ep_bytes_per_gpu_per_block(MIXTRAL_8x7B)
+        high = ep_bytes_per_gpu_per_block(MIXTRAL_8x7B.with_overrides(top_k=4))
+        assert high == pytest.approx(2.0 * low)
+
+    def test_dp_volume_amortised_by_accumulation(self):
+        small = dp_bytes_per_gpu(MIXTRAL_8x7B, dp_degree=8, grad_accumulation_steps=64)
+        large = dp_bytes_per_gpu(MIXTRAL_8x7B, dp_degree=8, grad_accumulation_steps=1)
+        assert large > small
+        assert dp_bytes_per_gpu(MIXTRAL_8x7B, 1, 1) == 0.0
+
+    def test_pp_boundary_volume(self):
+        assert pp_bytes_per_boundary(MIXTRAL_8x7B) == pytest.approx(
+            2.0 * activation_bytes(MIXTRAL_8x7B)
+        )
+
+
+class TestFigure2Shape:
+    """Figure 2: traffic volume distribution across parallelisms."""
+
+    def test_mixtral_tp_dominates_then_ep(self):
+        fractions = traffic_breakdown(MIXTRAL_8x7B).fractions()
+        assert fractions["TP"] > fractions["EP"]
+        assert fractions["EP"] > fractions["PP"]
+        assert fractions["EP"] > fractions["DP"]
+        assert fractions["PP"] + fractions["DP"] < 0.10
+
+    def test_llama_and_qwen_ep_dominates(self):
+        for model in (LLAMA_MOE, QWEN_MOE):
+            fractions = traffic_breakdown(model).fractions()
+            assert fractions["EP"] > 0.8, model.name
+
+    def test_fractions_sum_to_one(self):
+        fractions = traffic_breakdown(MIXTRAL_8x7B).fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            traffic_breakdown(MIXTRAL_8x7B, world_size=100)
+
+    def test_as_dict_keys(self):
+        assert set(traffic_breakdown(MIXTRAL_8x7B).as_dict()) == {"TP", "EP", "PP", "DP"}
+
+
+class TestGpuTrafficMatrix:
+    """Figure 5: strong locality of the 128-GPU traffic matrix."""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return ParallelismPlan(MIXTRAL_8x7B, simulation_cluster(16))
+
+    @pytest.fixture(scope="class")
+    def matrix(self, plan):
+        return gpu_traffic_matrix(plan, seed=0)
+
+    def test_shape_and_zero_diagonal(self, plan, matrix):
+        assert matrix.shape == (128, 128)
+        assert np.diag(matrix).sum() == 0.0
+
+    def test_ep_traffic_is_regional(self, plan):
+        """EP-only traffic never leaves the regional GPU blocks."""
+        ep_only = gpu_traffic_matrix(
+            plan, seed=0, include={"TP": False, "PP": False, "DP": False}
+        )
+        region_size = plan.ep * plan.tp
+        regions = [
+            list(range(start, start + region_size))
+            for start in range(0, plan.world_size, region_size)
+        ]
+        assert locality_fraction(ep_only, regions) == pytest.approx(1.0)
+
+    def test_full_matrix_has_strong_locality(self, plan, matrix):
+        region_size = plan.ep * plan.tp
+        regions = [
+            list(range(start, start + region_size))
+            for start in range(0, plan.world_size, region_size)
+        ]
+        assert locality_fraction(matrix, regions) > 0.9
+
+    def test_server_aggregation_preserves_volume(self, plan, matrix):
+        servers = server_traffic_matrix(plan, matrix)
+        assert servers.shape == (16, 16)
+        # Intra-server traffic is dropped by the aggregation, so the total is
+        # bounded by the GPU-level total.
+        assert servers.sum() <= matrix.sum() + 1e-6
+
+    def test_server_matrix_shape_validation(self, plan):
+        with pytest.raises(ValueError):
+            server_traffic_matrix(plan, np.zeros((4, 4)))

@@ -1,0 +1,133 @@
+"""Tests for hybrid-parallelism planning and rank placement."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, simulation_cluster
+from repro.moe.models import DEEPSEEK_R1, LLAMA_MOE, MIXTRAL_8x7B, MIXTRAL_8x22B
+from repro.moe.parallelism import ParallelismPlan, minimal_world_size
+
+
+@pytest.fixture
+def mixtral_plan():
+    cluster = simulation_cluster(num_servers=16)  # 128 GPUs, the paper's testbed scale
+    return ParallelismPlan(MIXTRAL_8x7B, cluster)
+
+
+class TestPlanConstruction:
+    def test_minimal_world_size(self):
+        assert minimal_world_size(MIXTRAL_8x7B) == 128
+        assert minimal_world_size(MIXTRAL_8x22B) == 512
+        assert minimal_world_size(DEEPSEEK_R1) == 1024
+
+    def test_dp_degree_derived(self, mixtral_plan):
+        assert mixtral_plan.world_size == 128
+        assert mixtral_plan.dp == 8
+
+    def test_indivisible_cluster_rejected(self):
+        cluster = ClusterSpec(num_servers=3)  # 24 GPUs, not divisible by tp*pp=16
+        with pytest.raises(ValueError):
+            ParallelismPlan(MIXTRAL_8x7B, cluster)
+
+    def test_ep_must_divide_dp(self):
+        # 4 servers = 32 GPUs -> dp = 2, but ep = 8 does not divide 2.
+        cluster = ClusterSpec(num_servers=4)
+        with pytest.raises(ValueError):
+            ParallelismPlan(MIXTRAL_8x7B, cluster)
+
+
+class TestCoordinates:
+    def test_rank_coordinate_roundtrip(self, mixtral_plan):
+        for rank in range(0, mixtral_plan.world_size, 7):
+            coord = mixtral_plan.coordinate(rank)
+            assert mixtral_plan.rank(coord.pp, coord.dp, coord.tp) == rank
+
+    def test_out_of_range_rank(self, mixtral_plan):
+        with pytest.raises(ValueError):
+            mixtral_plan.coordinate(mixtral_plan.world_size)
+
+    def test_out_of_range_coordinate(self, mixtral_plan):
+        with pytest.raises(ValueError):
+            mixtral_plan.rank(mixtral_plan.pp, 0, 0)
+
+
+class TestGroups:
+    def test_tp_groups_within_server(self, mixtral_plan):
+        for group in mixtral_plan.tp_groups():
+            assert len(group) == 4
+            servers = {mixtral_plan.server_of_rank(r) for r in group}
+            assert len(servers) == 1
+
+    def test_group_counts(self, mixtral_plan):
+        assert len(mixtral_plan.tp_groups()) == mixtral_plan.pp * mixtral_plan.dp
+        assert len(mixtral_plan.dp_groups()) == mixtral_plan.pp * mixtral_plan.tp
+        assert len(mixtral_plan.pp_groups()) == mixtral_plan.dp * mixtral_plan.tp
+        assert len(mixtral_plan.ep_groups()) == (
+            mixtral_plan.pp * (mixtral_plan.dp // mixtral_plan.ep) * mixtral_plan.tp
+        )
+
+    def test_every_rank_in_exactly_one_ep_group(self, mixtral_plan):
+        seen = {}
+        for group in mixtral_plan.ep_groups():
+            assert len(group) == mixtral_plan.ep
+            for rank in group:
+                assert rank not in seen
+                seen[rank] = True
+        assert len(seen) == mixtral_plan.world_size
+
+    def test_ep_group_of_rank_consistent(self, mixtral_plan):
+        for rank in (0, 17, 63, 127):
+            group = mixtral_plan.ep_group_of_rank(rank)
+            assert rank in group
+            assert group in mixtral_plan.ep_groups()
+
+    def test_ep_groups_share_pipeline_stage(self, mixtral_plan):
+        """All-to-all only happens within an MoE block, i.e. one PP stage (§3)."""
+        for group in mixtral_plan.ep_groups():
+            stages = {mixtral_plan.coordinate(r).pp for r in group}
+            assert len(stages) == 1
+
+
+class TestRegions:
+    def test_region_sizes_bounded_by_64_gpus(self):
+        """The paper's regional OCS never spans more than 64 GPUs (§7.1)."""
+        for model, servers in ((MIXTRAL_8x7B, 16), (MIXTRAL_8x22B, 64), (DEEPSEEK_R1, 128)):
+            plan = ParallelismPlan(model, simulation_cluster(servers))
+            assert plan.ep * plan.tp <= 64
+            assert plan.servers_per_region() <= 8
+
+    def test_regions_cover_contiguous_servers(self, mixtral_plan):
+        for region in mixtral_plan.regions():
+            assert region == list(range(region[0], region[0] + len(region)))
+
+    def test_region_of_rank_matches_regions(self, mixtral_plan):
+        region0 = mixtral_plan.region_of_rank(0)
+        assert region0 == mixtral_plan.regions()[0]
+
+    def test_num_regions(self, mixtral_plan):
+        assert mixtral_plan.num_regions() == len(mixtral_plan.regions())
+
+
+class TestExpertPlacement:
+    def test_expert_owner_round_robin(self):
+        plan = ParallelismPlan(LLAMA_MOE, simulation_cluster(8))
+        group = plan.ep_groups()[0]
+        assert plan.expert_owner(group, 0) == group[0]
+        assert plan.expert_owner(group, 15) == group[15]
+
+    def test_experts_of_rank_inverse_of_owner(self):
+        plan = ParallelismPlan(LLAMA_MOE, simulation_cluster(8))
+        group = plan.ep_groups()[0]
+        for rank in group:
+            for expert in plan.experts_of_rank(group, rank):
+                assert plan.expert_owner(group, expert) == rank
+
+    def test_expert_out_of_range(self, mixtral_plan):
+        group = mixtral_plan.ep_groups()[0]
+        with pytest.raises(ValueError):
+            mixtral_plan.expert_owner(group, 8)
+
+    def test_summary_keys(self, mixtral_plan):
+        summary = mixtral_plan.summary()
+        assert summary["world_size"] == 128
+        assert summary["ep"] == 8
+        assert summary["num_regions"] == mixtral_plan.num_regions()

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.demand import symmetrize_upper
+from repro.core.prediction import estimate_transition_matrix, project_to_simplex
+from repro.core.reconfigure import reconfigure_ocs, uniform_allocation
+from repro.fabric.base import RegionNetwork
+from repro.fabric.topoopt import degree_constrained_topology
+from repro.sim.flows import Flow, FluidNetwork
+
+
+# --------------------------------------------------------------------- helpers
+def square_demand(n, values):
+    matrix = np.array(values, dtype=float).reshape(n, n)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+demand_strategy = st.integers(min_value=2, max_value=6).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+            min_size=n * n,
+            max_size=n * n,
+        ),
+    )
+)
+
+
+class TestReconfigureProperties:
+    @given(demand_strategy, st.integers(min_value=0, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_degree_constraint_always_respected(self, demand_spec, degree):
+        n, values = demand_spec
+        demand = square_demand(n, values)
+        allocation = reconfigure_ocs(demand, degree, servers=list(range(n)))
+        for server in range(n):
+            assert allocation.degree_of(server) <= degree
+        assert len(allocation.nic_mapping) == allocation.total_circuits()
+
+    @given(demand_strategy, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_circuits_only_between_communicating_pairs(self, demand_spec, degree):
+        n, values = demand_spec
+        demand = square_demand(n, values)
+        allocation = reconfigure_ocs(demand, degree, servers=list(range(n)))
+        folded = symmetrize_upper(demand)
+        for (a, b), count in allocation.circuits.items():
+            i, j = min(a, b), max(a, b)
+            assert count > 0
+            assert folded[i, j] > 0
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_allocation_degree_bound(self, degree, servers):
+        allocation = uniform_allocation(degree, list(range(servers)))
+        for server in range(servers):
+            assert allocation.degree_of(server) <= degree
+
+
+class TestSymmetrizeProperties:
+    @given(demand_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_upper_triangular_and_total_preserving(self, demand_spec):
+        n, values = demand_spec
+        demand = square_demand(n, values)
+        folded = symmetrize_upper(demand)
+        assert np.allclose(np.tril(folded), 0.0)
+        np.testing.assert_allclose(folded.sum(), demand.sum(), rtol=1e-9, atol=1e-6)
+
+
+class TestSimplexProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=32),
+            elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_projection_lands_on_simplex(self, vector):
+        projected = project_to_simplex(vector)
+        assert projected.shape == vector.shape
+        assert abs(projected.sum() - 1.0) < 1e-6
+        assert (projected >= -1e-9).all()
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=2, max_value=8),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_transition_estimate_is_column_stochastic(self, experts, samples, rnd):
+        rng = np.random.default_rng(rnd.randint(0, 2**31))
+        pairs = [
+            (rng.dirichlet(np.ones(experts)), rng.dirichlet(np.ones(experts)))
+            for _ in range(samples)
+        ]
+        estimate = estimate_transition_matrix(pairs, method="projected")
+        assert np.allclose(estimate.sum(axis=0), 1.0, atol=1e-5)
+        assert (estimate >= -1e-9).all() and (estimate <= 1.0 + 1e-9).all()
+
+
+class TestTopologyProperties:
+    @given(
+        st.integers(min_value=2, max_value=7),
+        st.integers(min_value=2, max_value=8),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_degree_constrained_topology_connected(self, n, degree, rnd):
+        rng = np.random.default_rng(rnd.randint(0, 2**31))
+        demand = rng.uniform(0, 1e6, size=(n, n))
+        np.fill_diagonal(demand, 0.0)
+        servers = list(range(n))
+        links = degree_constrained_topology(demand, degree, servers)
+        # Degree bound.
+        used = {s: 0 for s in servers}
+        for (a, b), count in links.items():
+            used[a] += count
+            used[b] += count
+        assert all(value <= degree for value in used.values())
+        # Connectivity via union-find.
+        parent = {s: s for s in servers}
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for (a, b) in links:
+            parent[find(a)] = find(b)
+        assert len({find(s) for s in servers}) == 1
+
+
+class TestFluidNetworkProperties:
+    @given(
+        st.lists(st.floats(min_value=1e3, max_value=1e9, allow_nan=False), min_size=1, max_size=12),
+        st.floats(min_value=1.0, max_value=400.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shared_link_completion_time_matches_total_volume(self, sizes, capacity_gbps):
+        """All flows share one link, so the last completion equals total/capacity."""
+        region = RegionNetwork(servers=[0])
+        region.add_link("l", capacity_gbps)
+        region.intra_links = {0: "l"}
+        net = FluidNetwork(region)
+        for index, size in enumerate(sizes):
+            net.add_flow(Flow(f"f{index}", size, ["l"]))
+        elapsed = 0.0
+        for _ in range(len(sizes) + 2):
+            dt = net.time_to_next_completion()
+            if dt is None:
+                break
+            net.advance(dt)
+            elapsed += dt
+        expected = sum(sizes) / (capacity_gbps * 1e9 / 8.0)
+        assert abs(elapsed - expected) / expected < 1e-6
+        assert net.active_flow_count() == 0
+
+    @given(
+        st.lists(st.floats(min_value=1e3, max_value=1e8, allow_nan=False), min_size=2, max_size=8)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rates_never_exceed_capacity(self, sizes):
+        region = RegionNetwork(servers=[0])
+        region.add_link("l", 10.0)
+        region.intra_links = {0: "l"}
+        net = FluidNetwork(region)
+        for index, size in enumerate(sizes):
+            net.add_flow(Flow(f"f{index}", size, ["l"]))
+        net.compute_rates()
+        total_rate = sum(f.rate for f in net.flows.values())
+        assert total_rate <= 10.0 * 1e9 / 8.0 * (1 + 1e-9)

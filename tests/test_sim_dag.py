@@ -1,0 +1,78 @@
+"""Tests for the iteration task DAG."""
+
+import pytest
+
+from repro.sim.dag import FlowSpec, RouteKind, Task, TaskGraph, TaskKind
+
+
+class TestTask:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Task("t", TaskKind.COMPUTE, duration_s=-1.0)
+
+    def test_non_comm_task_cannot_carry_flows(self):
+        with pytest.raises(ValueError):
+            Task("t", TaskKind.COMPUTE, flow_specs=[FlowSpec(0, 1, 10.0)])
+
+    def test_flow_spec_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec(0, 1, -5.0)
+        spec = FlowSpec(0, 1, 5.0, RouteKind.EPS)
+        assert spec.route is RouteKind.EPS
+
+
+class TestTaskGraph:
+    def test_add_and_lookup(self):
+        graph = TaskGraph()
+        graph.add_compute("a", 1.0)
+        graph.add_comm("b", [FlowSpec(0, 1, 10.0)], deps=["a"])
+        assert "a" in graph
+        assert graph.task("b").deps == ["a"]
+        assert len(graph) == 2
+
+    def test_duplicate_id_rejected(self):
+        graph = TaskGraph()
+        graph.add_compute("a", 1.0)
+        with pytest.raises(ValueError):
+            graph.add_compute("a", 2.0)
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(ValueError):
+            graph.add_compute("a", 1.0, deps=["missing"])
+
+    def test_topological_order_respects_dependencies(self):
+        graph = TaskGraph()
+        graph.add_compute("a", 1.0)
+        graph.add_compute("b", 1.0, deps=["a"])
+        graph.add_compute("c", 1.0, deps=["a"])
+        graph.add_barrier("d", deps=["b", "c"])
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b")
+        assert order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_validate_passes_for_dag(self):
+        graph = TaskGraph()
+        graph.add_compute("a", 1.0)
+        graph.add_reconfig("r", 0.025, deps=["a"])
+        graph.validate()
+
+    def test_critical_path_lower_bound(self):
+        graph = TaskGraph()
+        graph.add_compute("a", 1.0)
+        graph.add_compute("b", 2.0, deps=["a"])
+        graph.add_compute("c", 0.5)
+        assert graph.critical_path_lower_bound() == pytest.approx(3.0)
+
+    def test_reconfig_callback_stored(self):
+        called = []
+        graph = TaskGraph()
+        graph.add_reconfig("r", 0.01, on_complete=lambda: called.append(1))
+        graph.task("r").on_complete()
+        assert called == [1]
+
+    def test_empty_graph(self):
+        graph = TaskGraph()
+        assert graph.topological_order() == []
+        assert graph.critical_path_lower_bound() == 0.0

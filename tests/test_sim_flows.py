@@ -1,0 +1,141 @@
+"""Tests for the fluid network model (max-min fair sharing)."""
+
+import pytest
+
+from repro.fabric.base import RegionNetwork
+from repro.sim.flows import Flow, FluidNetwork, total_path_bytes
+
+
+def make_region():
+    region = RegionNetwork(servers=[0, 1])
+    region.add_link("a", capacity_gbps=8.0)  # 1e9 bytes/s
+    region.add_link("b", capacity_gbps=8.0)
+    region.add_link("c", capacity_gbps=4.0)  # 0.5e9 bytes/s
+    region.intra_links = {0: "a", 1: "b"}
+    return region
+
+
+class TestFlow:
+    def test_flow_initialisation(self):
+        flow = Flow("f", 100.0, ["a"])
+        assert flow.remaining_bytes == 100.0
+        assert not flow.finished
+
+    def test_invalid_flow(self):
+        with pytest.raises(ValueError):
+            Flow("f", -1.0, ["a"])
+        with pytest.raises(ValueError):
+            Flow("f", 1.0, [])
+
+
+class TestRateAllocation:
+    def test_single_flow_gets_link_capacity(self):
+        net = FluidNetwork(make_region())
+        net.add_flow(Flow("f1", 1e9, ["a"]))
+        net.compute_rates()
+        assert net.flows["f1"].rate == pytest.approx(1e9)
+
+    def test_two_flows_share_fairly(self):
+        net = FluidNetwork(make_region())
+        net.add_flow(Flow("f1", 1e9, ["a"]))
+        net.add_flow(Flow("f2", 1e9, ["a"]))
+        net.compute_rates()
+        assert net.flows["f1"].rate == pytest.approx(0.5e9)
+        assert net.flows["f2"].rate == pytest.approx(0.5e9)
+
+    def test_max_min_fairness_with_bottleneck(self):
+        """A flow constrained elsewhere releases bandwidth to its competitors."""
+        net = FluidNetwork(make_region())
+        net.add_flow(Flow("narrow", 1e9, ["a", "c"]))  # bottlenecked by c
+        net.add_flow(Flow("wide", 1e9, ["a"]))
+        net.compute_rates()
+        assert net.flows["narrow"].rate == pytest.approx(0.5e9)
+        assert net.flows["wide"].rate == pytest.approx(0.5e9, rel=1e-6)
+
+    def test_unknown_link_rejected(self):
+        net = FluidNetwork(make_region())
+        with pytest.raises(KeyError):
+            net.add_flow(Flow("f", 10.0, ["nope"]))
+
+    def test_duplicate_flow_id_rejected(self):
+        net = FluidNetwork(make_region())
+        net.add_flow(Flow("f", 10.0, ["a"]))
+        with pytest.raises(ValueError):
+            net.add_flow(Flow("f", 10.0, ["a"]))
+
+
+class TestProgression:
+    def test_time_to_next_completion(self):
+        net = FluidNetwork(make_region())
+        net.add_flow(Flow("f1", 1e9, ["a"]))
+        net.add_flow(Flow("f2", 2e9, ["b"]))
+        assert net.time_to_next_completion() == pytest.approx(1.0)
+
+    def test_advance_completes_flows_in_order(self):
+        net = FluidNetwork(make_region())
+        net.add_flow(Flow("f1", 1e9, ["a"]))
+        net.add_flow(Flow("f2", 2e9, ["b"]))
+        finished = net.advance(1.0)
+        assert [f.flow_id for f in finished] == ["f1"]
+        finished = net.advance(net.time_to_next_completion())
+        assert [f.flow_id for f in finished] == ["f2"]
+        assert net.active_flow_count() == 0
+
+    def test_rates_rebalance_after_completion(self):
+        net = FluidNetwork(make_region())
+        net.add_flow(Flow("f1", 0.5e9, ["a"]))
+        net.add_flow(Flow("f2", 2e9, ["a"]))
+        net.advance(net.time_to_next_completion())
+        net.compute_rates()
+        assert net.flows["f2"].rate == pytest.approx(1e9)
+
+    def test_empty_network(self):
+        net = FluidNetwork(make_region())
+        assert net.time_to_next_completion() is None
+        assert net.advance(1.0) == []
+
+    def test_dark_link_blocks_progress(self):
+        region = make_region()
+        net = FluidNetwork(region)
+        net.add_flow(Flow("f", 1e9, ["a"]))
+        region.set_capacity("a", 0.0)
+        net.mark_topology_changed()
+        assert net.time_to_next_completion() is None
+
+    def test_capacity_change_takes_effect(self):
+        region = make_region()
+        net = FluidNetwork(region)
+        net.add_flow(Flow("f", 1e9, ["a"]))
+        region.set_capacity("a", 16.0)
+        net.mark_topology_changed()
+        assert net.time_to_next_completion() == pytest.approx(0.5)
+
+    def test_negative_advance_rejected(self):
+        net = FluidNetwork(make_region())
+        with pytest.raises(ValueError):
+            net.advance(-0.1)
+
+    def test_conservation_of_bytes(self):
+        """The sum of transferred bytes equals the injected volume."""
+        net = FluidNetwork(make_region())
+        sizes = [0.3e9, 0.7e9, 1.1e9]
+        for index, size in enumerate(sizes):
+            net.add_flow(Flow(f"f{index}", size, ["a"]))
+        transferred = 0.0
+        for _ in range(10):
+            dt = net.time_to_next_completion()
+            if dt is None:
+                break
+            rates = {fid: flow.rate for fid, flow in net.flows.items()}
+            finished = net.advance(dt)
+            transferred += sum(rates[fid] * dt for fid in rates)
+            if not net.active_flow_count():
+                break
+        assert transferred == pytest.approx(sum(sizes), rel=1e-6)
+
+
+class TestHelpers:
+    def test_total_path_bytes(self):
+        flows = [Flow("f1", 10.0, ["a", "c"]), Flow("f2", 5.0, ["a"])]
+        usage = total_path_bytes(flows)
+        assert usage == {"a": 15.0, "c": 10.0}

@@ -1,0 +1,100 @@
+"""Tests for the 32-GPU prototype emulation (§6, Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.testbed import testbed_cluster as make_testbed_cluster
+from repro.testbed import (
+    TESTBED_MODELS,
+    NICActivationModel,
+    ReconfigurationDelayModel,
+    control_timeline,
+    empirical_cdf,
+    percentile,
+    run_all_prototype_experiments,
+    run_prototype_experiment,
+    timeline_total,
+)
+
+
+class TestTestbedCluster:
+    def test_prototype_dimensions(self):
+        cluster = make_testbed_cluster(ocs_nics=3)
+        assert cluster.num_gpus == 32
+        assert cluster.num_servers == 4
+        assert cluster.server.nic_bandwidth_gbps == 100.0
+        assert cluster.server.ocs_nics == 3
+
+    def test_models_fit_32_gpus(self):
+        for model in TESTBED_MODELS.values():
+            assert model.tp_degree * model.pp_degree * model.ep_degree <= 32
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        return run_all_prototype_experiments(seed=1)
+
+    def test_covers_three_models(self, comparisons):
+        assert {c.model for c in comparisons} == {"Mixtral 8x7B", "Qwen-MoE", "Llama-MoE"}
+
+    def test_mixnet_comparable_to_eps_baseline(self, comparisons):
+        """Figure 10: MixNet achieves comparable iteration time with fewer
+        electrical switch ports (within ~25 % of the 4x100G EPS baseline)."""
+        for comparison in comparisons:
+            assert 0.75 < comparison.relative_difference < 1.3, comparison.model
+
+    def test_iteration_times_in_plausible_range(self, comparisons):
+        """The paper reports roughly 5-25 s per iteration on the prototype."""
+        for comparison in comparisons:
+            assert 1.0 < comparison.eps_iteration_s < 120.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            run_prototype_experiment("GPT-4")
+
+
+class TestOcsControlPlane:
+    def test_reconfiguration_delay_distribution(self):
+        """Figure 21: means around 41-47 ms and 99th percentile under 70 ms."""
+        model = ReconfigurationDelayModel()
+        rng = np.random.default_rng(0)
+        for pairs, expected_mean in ((1, 0.0414), (4, 0.0424), (16, 0.0467)):
+            samples = model.sample(pairs, 4000, rng=rng)
+            assert np.mean(samples) == pytest.approx(expected_mean, rel=0.05)
+            assert percentile(samples, 99) < 0.075
+
+    def test_mean_grows_with_pairs(self):
+        model = ReconfigurationDelayModel()
+        assert model.mean_for_pairs(16) > model.mean_for_pairs(1)
+        with pytest.raises(ValueError):
+            model.mean_for_pairs(0)
+
+    def test_nic_activation_distribution(self):
+        """Figure 23: about 5.7 s mean, ~6.3 s p99."""
+        samples = NICActivationModel().sample(4000, rng=np.random.default_rng(1))
+        assert np.mean(samples) == pytest.approx(5.67, rel=0.05)
+        assert percentile(samples, 99) == pytest.approx(6.33, rel=0.15)
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            ReconfigurationDelayModel().sample(1, 0)
+        with pytest.raises(ValueError):
+            NICActivationModel().sample(0)
+
+    def test_control_timeline_dominated_by_initialization(self):
+        """Figure 22: transceiver/NIC bring-up, not the OCS switch, dominates."""
+        stages = control_timeline()
+        total = timeline_total(stages)
+        by_name = {stage.name: stage.duration_s for stage in stages}
+        assert by_name["ocs_reconfiguration"] < 0.1
+        assert by_name["transceiver_initialization"] + by_name["nic_initialization"] > 0.9 * (
+            total - by_name["ocs_reconfiguration"]
+        )
+        assert 3.0 < total < 10.0
+
+    def test_empirical_cdf_monotone(self):
+        samples = np.array([3.0, 1.0, 2.0])
+        cdf = empirical_cdf(samples)
+        assert list(cdf["values"]) == [1.0, 2.0, 3.0]
+        assert cdf["cdf"][-1] == pytest.approx(1.0)
