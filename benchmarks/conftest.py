@@ -20,12 +20,7 @@ from typing import Dict, Iterable, Sequence
 import pytest
 
 from repro.cluster import ClusterSpec, simulation_cluster
-from repro.fabric import (
-    FatTreeFabric,
-    MixNetFabric,
-    RailOptimizedFabric,
-    TopoOptFabric,
-)
+from repro.sweep.registry import FABRIC_BUILDERS
 
 FULL_SCALE = os.environ.get("MIXNET_BENCH_FULL", "0") == "1"
 
@@ -41,13 +36,8 @@ def bench_cluster(bandwidth_gbps: float, ocs_nics: int = 6,
 
 
 def all_fabrics(cluster: ClusterSpec) -> Dict[str, object]:
-    return {
-        "Fat-tree": FatTreeFabric(cluster),
-        "OverSub. Fat-tree": FatTreeFabric(cluster, oversubscription=3.0),
-        "Rail-optimized": RailOptimizedFabric(cluster),
-        "TopoOpt": TopoOptFabric(cluster),
-        "MixNet": MixNetFabric(cluster),
-    }
+    """The five fabrics of Figure 12, from the sweep engine's registry."""
+    return {name: build(cluster) for name, build in FABRIC_BUILDERS.items()}
 
 
 #: Capture manager grabbed by the autouse fixture below so the series rows

@@ -1,32 +1,43 @@
-"""Figure 12: normalized training iteration time of four MoE models on five fabrics."""
+"""Figure 12: normalized training iteration time of four MoE models on five fabrics.
+
+Routed through the sweep engine: each panel is a fabrics × bandwidths grid of
+:class:`SweepConfig` records executed by :class:`SweepRunner`.
+"""
 
 import pytest
-from conftest import BENCH_SERVERS, all_fabrics, bench_cluster, print_series
+from conftest import BENCH_SERVERS, print_series
 
-from repro.core.runtime import normalized_iteration_times, simulate_fabrics
-from repro.moe.models import DEEPSEEK_R1, MIXTRAL_8x7B, MIXTRAL_8x22B, QWEN_MOE_EP32
-from repro.moe.parallelism import minimal_world_size
+from repro.core.runtime import normalized_iteration_times
+from repro.sweep import FABRIC_BUILDERS, SweepRunner, SweepSpec
 
-#: (figure panel, model, bandwidths swept).  The benchmark sweeps the low and
-#: high ends of the paper's 100-800 Gbps range to keep runtime manageable.
+#: (figure panel, sweep model name).  The benchmark sweeps the low and high
+#: ends of the paper's 100-800 Gbps range to keep runtime manageable.
 PANELS = [
-    ("Fig12a", MIXTRAL_8x22B),
-    ("Fig12b", MIXTRAL_8x7B),
-    ("Fig12c", QWEN_MOE_EP32),
-    ("Fig12d", DEEPSEEK_R1),
+    ("Fig12a", "Mixtral-8x22B"),
+    ("Fig12b", "Mixtral-8x7B"),
+    ("Fig12c", "Qwen-MoE-EP32"),
+    ("Fig12d", "DeepSeek-R1"),
 ]
 BANDWIDTHS = (100.0, 400.0)
 
 
-def run_panel(model):
+def run_panel(model_name):
+    spec = SweepSpec(
+        fabrics=list(FABRIC_BUILDERS),
+        models=[model_name],
+        nic_bandwidths_gbps=BANDWIDTHS,
+        num_servers=BENCH_SERVERS,
+    )
+    results = SweepRunner(spec).run()
     rows = []
     normalized_by_bandwidth = {}
-    # Each model needs at least its minimal TP x PP x EP world size.
-    servers = max(BENCH_SERVERS, minimal_world_size(model) // 8)
     for bandwidth in BANDWIDTHS:
-        cluster = bench_cluster(bandwidth, servers=servers)
-        results = simulate_fabrics(model, list(all_fabrics(cluster).values()))
-        normalized = normalized_iteration_times(results, reference="Fat-tree")
+        of_bandwidth = {
+            r.fabric: r
+            for r in results
+            if r.config["nic_bandwidth_gbps"] == bandwidth
+        }
+        normalized = normalized_iteration_times(of_bandwidth, reference="Fat-tree")
         normalized_by_bandwidth[bandwidth] = normalized
         for fabric, value in normalized.items():
             rows.append((int(bandwidth), fabric, round(value, 3)))

@@ -1,35 +1,41 @@
-"""Figure 14: failure resiliency of MixNet under NIC and GPU failures."""
+"""Figure 14: failure resiliency of MixNet under NIC and GPU failures.
 
-from conftest import bench_cluster, print_series
+Routed through the sweep engine: the failure axis of :class:`SweepSpec`
+covers the scenarios of §7.5.
+"""
 
-from repro.core.failures import FailureScenario
-from repro.core.runtime import TrainingSimulator
-from repro.fabric import MixNetFabric
-from repro.moe.models import MIXTRAL_8x7B, MIXTRAL_8x22B
+from conftest import print_series
+
+from repro.sweep import SweepRunner, SweepSpec
 
 SCENARIOS = [
-    ("No Failure", None),
-    ("One NIC Failure", FailureScenario.nic_failures(1)),
-    ("Two NIC Failures", FailureScenario.nic_failures(2)),
-    ("One GPU Failure", FailureScenario.gpu_failure()),
-    ("One Server (8 GPUs) Failure", FailureScenario.server_failure()),
+    ("No Failure", "none"),
+    ("One NIC Failure", "nic:1"),
+    ("Two NIC Failures", "nic:2"),
+    ("One GPU Failure", "gpu"),
+    ("One Server (8 GPUs) Failure", "server"),
 ]
+MODELS = [("Mixtral-8x22B", 64), ("Mixtral-8x7B", 32)]
 
 
-def run_model(model):
-    cluster = bench_cluster(400.0, servers=64 if model is MIXTRAL_8x22B else 32)
-    simulator = TrainingSimulator(model, cluster, MixNetFabric(cluster))
+def run_all():
     results = {}
-    for name, scenario in SCENARIOS:
-        results[name] = simulator.simulate_iteration(failure=scenario).iteration_time_s
+    for model_name, servers in MODELS:
+        spec = SweepSpec(
+            fabrics=["MixNet"],
+            models=[model_name],
+            failures=[failure for _, failure in SCENARIOS],
+            num_servers=servers,
+        )
+        by_failure = {r.config["failure"]: r.iteration_time_s for r in SweepRunner(spec).run()}
+        results[model_name] = {
+            label: by_failure[failure] for label, failure in SCENARIOS
+        }
     return results
 
 
 def test_fig14_failures(run_once):
-    def build():
-        return {model.name: run_model(model) for model in (MIXTRAL_8x22B, MIXTRAL_8x7B)}
-
-    all_results = run_once(build)
+    all_results = run_once(run_all)
     rows = []
     for model_name, results in all_results.items():
         baseline = results["No Failure"]

@@ -1,0 +1,97 @@
+"""Sweep-engine micro-benchmark: configs/second, new solver vs seed solver.
+
+Runs an identical 16-configuration sweep (Mixtral-8x22B on Fat-tree and
+MixNet, two first-all-to-all policies, two link bandwidths, two traffic
+seeds — the Figure 12 hot path) twice: once with
+the seed's pure-Python scalar rate solver and once with the default solver
+stack (compiled kernel when a C compiler is present, incremental numpy
+water-filling otherwise).  It asserts the two produce identical iteration
+times, records the headline numbers in ``BENCH_sweep.json`` at the repo root,
+and enforces the >= 3x speedup budget the solver rewrite was sized for.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_series
+
+from repro.sim.flows import resolve_solver
+from repro.sweep import SweepRunner, SweepSpec
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+
+SPEC = SweepSpec(
+    fabrics=["Fat-tree", "MixNet"],
+    models=["Mixtral-8x22B"],
+    first_a2a_policies=("block", "copilot"),
+    nic_bandwidths_gbps=(100.0, 400.0),
+    seeds=(0, 1),
+    num_servers=32,  # auto-raised to Mixtral-8x22B's 64-server world
+)
+
+
+def run_sweep(solver):
+    start = time.perf_counter()
+    results = SweepRunner(SPEC, workers=0, solver=solver).run()
+    return results, time.perf_counter() - start
+
+
+def test_sweep_throughput(run_once):
+    def build():
+        # Warm one config per seed and solver first so one-time costs
+        # (synthetic trace memoization covers one seed per entry, kernel
+        # load) don't bias either timed pass.
+        from repro.sweep import run_config
+
+        configs = SPEC.expand()
+        for seed in SPEC.seeds:
+            warm_config = next(c for c in configs if c.seed == seed)
+            run_config(warm_config, solver="scalar")
+            run_config(warm_config, solver=None)
+        scalar_results, scalar_s = run_sweep("scalar")
+        fast_results, fast_s = run_sweep(None)  # the shipped default
+        return scalar_results, scalar_s, fast_results, fast_s
+
+    scalar_results, scalar_s, fast_results, fast_s = run_once(build)
+    num_configs = len(scalar_results)
+    assert num_configs == 16
+
+    # Both solver stacks are exact max-min solvers: identical results.
+    for seed_result, fast_result in zip(scalar_results, fast_results):
+        assert seed_result.config_hash == fast_result.config_hash
+        assert abs(seed_result.iteration_time_s - fast_result.iteration_time_s) <= (
+            1e-9 * seed_result.iteration_time_s
+        )
+
+    speedup = scalar_s / fast_s
+    default_solver = resolve_solver(None)
+    record = {
+        "description": "16-config sweep (Mixtral-8x22B x {Fat-tree, MixNet} x "
+                       "2 policies x 2 bandwidths x 2 seeds), seed scalar "
+                       "solver vs default solver stack",
+        "num_configs": num_configs,
+        "seed_solver_s": round(scalar_s, 3),
+        "seed_solver_configs_per_s": round(num_configs / scalar_s, 3),
+        "default_solver": default_solver,
+        "default_solver_s": round(fast_s, 3),
+        "default_solver_configs_per_s": round(num_configs / fast_s, 3),
+        "speedup": round(speedup, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=1) + "\n")
+
+    print_series("SweepBench", [
+        ("solver", "total_s", "configs_per_s"),
+        ("scalar (seed)", round(scalar_s, 2), round(num_configs / scalar_s, 2)),
+        (default_solver, round(fast_s, 2), round(num_configs / fast_s, 2)),
+        ("speedup", round(speedup, 2), ""),
+    ])
+
+    if default_solver == "native":
+        # Typical measured speedup is ~4x; 3.0 is the budget the solver
+        # rewrite was sized for.
+        assert speedup >= 3.0, f"sweep speedup regressed to {speedup:.2f}x"
+    else:
+        # No C compiler in this environment: the incremental numpy solver
+        # still has to beat the seed clearly.
+        assert speedup >= 1.2, f"sweep speedup regressed to {speedup:.2f}x"

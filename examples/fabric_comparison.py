@@ -7,35 +7,26 @@ over the five fabrics evaluated in the paper — non-blocking Fat-tree,
 bandwidths, then combines the iteration times with the networking cost model
 into the performance-per-dollar comparison of §7.4.
 
-Run with:  python examples/fabric_comparison.py [--servers 128]
+The grid is expressed as a :class:`repro.sweep.SweepSpec` and executed by the
+sweep engine, so it can fan out over worker processes and reuse cached
+results across invocations.
+
+Run with:  python examples/fabric_comparison.py [--servers 128] [--workers 2] \
+               [--cache-dir .sweep-cache]
 """
 
 import argparse
 
 from repro import (
     DesignPoint,
-    FatTreeFabric,
-    MixNetFabric,
     NetworkingCostModel,
-    RailOptimizedFabric,
-    TopoOptFabric,
     cost_efficiency_gain,
     normalized_iteration_times,
     pareto_front,
-    simulate_fabrics,
-    simulation_cluster,
 )
-from repro.moe.models import MIXTRAL_8x7B, QWEN_MOE_EP32
+from repro.sweep import FABRIC_BUILDERS, SweepRunner, SweepSpec
 
-
-def fabrics_for(cluster):
-    return [
-        FatTreeFabric(cluster),
-        FatTreeFabric(cluster, oversubscription=3.0),
-        RailOptimizedFabric(cluster),
-        TopoOptFabric(cluster),
-        MixNetFabric(cluster),
-    ]
+MODELS = ("Mixtral-8x7B", "Qwen-MoE-EP32")
 
 
 def main() -> None:
@@ -43,27 +34,45 @@ def main() -> None:
     parser.add_argument("--servers", type=int, default=32,
                         help="servers to simulate (128 reproduces the paper's 1024 GPUs)")
     parser.add_argument("--bandwidths", type=float, nargs="+", default=[100.0, 400.0])
+    parser.add_argument("--workers", type=int, default=0,
+                        help="sweep worker processes (0 = run inline)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse cached per-configuration results from this directory")
     args = parser.parse_args()
 
+    spec = SweepSpec(
+        fabrics=list(FABRIC_BUILDERS),
+        models=list(MODELS),
+        nic_bandwidths_gbps=args.bandwidths,
+        num_servers=args.servers,
+    )
+    results = SweepRunner(spec, workers=args.workers, cache_dir=args.cache_dir).run()
+
     cost_model = NetworkingCostModel()
-    for model in (MIXTRAL_8x7B, QWEN_MOE_EP32):
-        print(f"\n=== {model.name} on {args.servers * 8} GPUs ===")
+    for model in MODELS:
+        of_model = [r for r in results if r.config["model"] == model]
+        num_gpus = of_model[0].config["num_servers"] * 8
+        print(f"\n=== {model} on {num_gpus} GPUs ===")
         for bandwidth in args.bandwidths:
-            cluster = simulation_cluster(args.servers, nic_bandwidth_gbps=bandwidth)
-            results = simulate_fabrics(model, fabrics_for(cluster))
-            normalized = normalized_iteration_times(results, reference="Fat-tree")
+            by_fabric = {
+                r.fabric: r
+                for r in of_model
+                if r.config["nic_bandwidth_gbps"] == bandwidth
+            }
+            normalized = normalized_iteration_times(by_fabric, reference="Fat-tree")
 
             print(f"\n  link bandwidth {bandwidth:.0f} Gbps — normalized iteration time:")
             for name, value in sorted(normalized.items(), key=lambda item: item[1]):
-                print(f"    {name:20s} {value:5.2f}x")
+                cached = " (cached)" if by_fabric[name].from_cache else ""
+                print(f"    {name:20s} {value:5.2f}x{cached}")
 
             points = {
                 name: DesignPoint(
                     fabric=name,
                     iteration_time_s=result.iteration_time_s,
-                    cost_usd=cost_model.cost(name, cluster.num_gpus, int(bandwidth)).total,
+                    cost_usd=cost_model.cost(name, num_gpus, int(bandwidth)).total,
                 )
-                for name, result in results.items()
+                for name, result in by_fabric.items()
             }
             front = [p.fabric for p in pareto_front(list(points.values()))]
             gain_ft = cost_efficiency_gain(points, "MixNet", "Fat-tree")

@@ -4,44 +4,39 @@
 Simulates Mixtral 8x7B training on MixNet under the failure scenarios the
 paper evaluates — one or two EPS NIC failures, a single GPU failure handled by
 a backup GPU behind the OCS, and a full server replacement connected via EPS —
-and reports the iteration-time overhead of each.
+and reports the iteration-time overhead of each.  The scenario axis is the
+``failures`` dimension of a :class:`repro.sweep.SweepSpec`.
 
 Run with:  python examples/failure_resilience.py
 """
 
-from repro import (
-    FailureScenario,
-    MIXTRAL_8x7B,
-    MixNetFabric,
-    RuntimeOptions,
-    TrainingSimulator,
-    simulation_cluster,
-)
+from repro.sweep import SweepRunner, SweepSpec
+
+SCENARIOS = [
+    ("No failure", "none"),
+    ("One EPS NIC failure", "nic:1"),
+    ("Two EPS NIC failures", "nic:2"),
+    ("One GPU failure", "gpu"),
+    ("Full server failure", "server"),
+]
 
 
 def main() -> None:
-    cluster = simulation_cluster(num_servers=16, nic_bandwidth_gbps=400.0)
-    fabric = MixNetFabric(cluster)
-    simulator = TrainingSimulator(
-        MIXTRAL_8x7B, cluster, fabric, options=RuntimeOptions(seed=1)
+    spec = SweepSpec(
+        fabrics=["MixNet"],
+        models=["Mixtral-8x7B"],
+        failures=[failure for _, failure in SCENARIOS],
+        num_servers=16,
+        seeds=(1,),
     )
+    results = {r.config["failure"]: r for r in SweepRunner(spec).run()}
 
-    scenarios = [
-        ("No failure", None),
-        ("One EPS NIC failure", FailureScenario.nic_failures(1)),
-        ("Two EPS NIC failures", FailureScenario.nic_failures(2)),
-        ("One GPU failure", FailureScenario.gpu_failure()),
-        ("Full server failure", FailureScenario.server_failure()),
-    ]
-
-    baseline = None
+    baseline = results["none"].iteration_time_s
     print(f"{'scenario':28s} {'iteration (s)':>14s} {'overhead':>10s}")
-    for name, scenario in scenarios:
-        result = simulator.simulate_iteration(failure=scenario)
-        if baseline is None:
-            baseline = result.iteration_time_s
-        overhead = (result.iteration_time_s / baseline - 1.0) * 100.0
-        print(f"{name:28s} {result.iteration_time_s:14.2f} {overhead:+9.1f}%")
+    for name, failure in SCENARIOS:
+        iteration_time = results[failure].iteration_time_s
+        overhead = (iteration_time / baseline - 1.0) * 100.0
+        print(f"{name:28s} {iteration_time:14.2f} {overhead:+9.1f}%")
 
     print(
         "\nAs in the paper, NIC failures cost a few percent because EPS and the\n"

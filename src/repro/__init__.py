@@ -15,6 +15,8 @@ The package is organised as:
 * :mod:`repro.cost` — networking cost model;
 * :mod:`repro.analysis` — evaluation metrics (speed-ups, Pareto fronts,
   locality statistics);
+* :mod:`repro.sweep` — parallel configuration-sweep engine with per-config
+  caching and a CLI (``python -m repro.sweep``);
 * :mod:`repro.testbed` — 32-GPU hardware-prototype emulation.
 
 Quickstart::
@@ -91,6 +93,7 @@ from repro.moe import (
     gpu_traffic_matrix,
     traffic_breakdown,
 )
+from repro.sweep import SweepConfig, SweepResult, SweepRunner, SweepSpec
 
 __version__ = "1.0.0"
 
@@ -155,4 +158,9 @@ __all__ = [
     "get_model",
     "gpu_traffic_matrix",
     "traffic_breakdown",
+    # sweep
+    "SweepConfig",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
 ]

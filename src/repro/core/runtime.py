@@ -77,6 +77,11 @@ class RuntimeOptions:
         ocs_collective_efficiency: Effective fraction of line rate achieved on
             a dedicated optical circuit (a single point-to-point RDMA stream).
         seed: Seed for synthetic traffic when no trace record is supplied.
+        fluid_solver: Fluid-network rate solver (``"auto"``, ``"native"``,
+            ``"vectorized"`` or ``"scalar"``); ``None`` uses the process-wide
+            default (``"auto"`` — the compiled kernel when available).  All
+            are exact max–min solvers, so results are solver-independent —
+            the knob exists for differential testing and benchmarking.
     """
 
     first_a2a_policy: str = "block"
@@ -88,8 +93,16 @@ class RuntimeOptions:
     eps_collective_efficiency: float = 0.6
     ocs_collective_efficiency: float = 0.8
     seed: int = 0
+    fluid_solver: Optional[str] = None
 
     def __post_init__(self) -> None:
+        from repro.sim.flows import SOLVERS
+
+        if self.fluid_solver is not None and self.fluid_solver not in SOLVERS:
+            raise ValueError(
+                f"fluid_solver must be None or one of {SOLVERS}, "
+                f"got {self.fluid_solver!r}"
+            )
         if self.first_a2a_policy not in FIRST_A2A_POLICIES:
             raise ValueError(
                 f"first_a2a_policy must be one of {FIRST_A2A_POLICIES}, "
@@ -235,14 +248,10 @@ class TrainingSimulator:
 
         controller: Optional[RegionalTopologyController] = None
         if isinstance(self.fabric, MixNetFabric) and isinstance(region, MixNetRegionNetwork):
-            optical_degree = self.fabric.optical_degree
-            for server, penalty in effects.ocs_degree_penalty.items():
-                if server in self.region_servers:
-                    optical_degree = max(0, self.fabric.optical_degree - penalty)
             controller = RegionalTopologyController(
                 region,
                 self.cluster,
-                optical_degree=optical_degree,
+                optical_degree=self._effective_optical_degree(effects),
                 reconfiguration_delay_s=options.reconfiguration_delay_s,
             )
             # Start from a demand-oblivious wiring, like a freshly-cabled OCS.
@@ -251,7 +260,7 @@ class TrainingSimulator:
         graph, compute_total = self._build_stage_graph(
             record, profile, tp_time, effects, controller, mbs
         )
-        execution = Executor(graph, region).run()
+        execution = Executor(graph, region, solver=options.fluid_solver).run()
         stage_time = execution.makespan
 
         pp_transfer = self._pp_transfer_time(mbs)
@@ -277,6 +286,24 @@ class TrainingSimulator:
             num_micro_batches=micro_batches,
             tokens_per_iteration=tokens,
         )
+
+    def _effective_optical_degree(self, effects: FailureEffects) -> int:
+        """Optical degree available to Algorithm 1 after failures.
+
+        All servers of the region share one OCS slice, so the slice must be
+        planned for the worst case — the largest degree penalty any affected
+        server in the region suffers — not for whichever server happens to be
+        visited last.
+        """
+        worst_penalty = max(
+            (
+                penalty
+                for server, penalty in effects.ocs_degree_penalty.items()
+                if server in self.region_servers
+            ),
+            default=0,
+        )
+        return max(0, self.fabric.optical_degree - worst_penalty)
 
     # ------------------------------------------------------------ DAG builder
     def _build_stage_graph(
@@ -523,11 +550,17 @@ def simulate_fabrics(
     options: Optional[RuntimeOptions] = None,
     record: Optional[IterationRecord] = None,
 ) -> Dict[str, IterationResult]:
-    """Simulate the same workload on several fabrics (Figure 12 style)."""
+    """Simulate the same workload on several fabrics (Figure 12 style).
+
+    Thin wrapper over the sweep engine's single-case runner
+    (:func:`repro.sweep.runner.run_case`); prefer :class:`repro.sweep.SweepRunner`
+    for grids of configurations (caching, parallel workers).
+    """
+    from repro.sweep.runner import run_case
+
     results: Dict[str, IterationResult] = {}
     for fabric in fabrics:
-        simulator = TrainingSimulator(model, fabric.cluster, fabric, options=options)
-        results[fabric.name] = simulator.simulate_iteration(record=record)
+        results[fabric.name] = run_case(model, fabric, options=options, record=record)
     return results
 
 
@@ -537,4 +570,9 @@ def normalized_iteration_times(results: Dict[str, IterationResult],
     if reference not in results:
         raise KeyError(f"reference fabric {reference!r} not in results")
     base = results[reference].iteration_time_s
+    if base <= 1e-12:
+        raise ValueError(
+            f"reference fabric {reference!r} has a zero or near-zero iteration "
+            f"time ({base!r}); cannot normalize against it"
+        )
     return {name: result.iteration_time_s / base for name, result in results.items()}

@@ -84,6 +84,12 @@ class TrainingTrace:
         return np.stack([r.traffic_matrices[layer] for r in self.records])
 
 
+#: Memo of default-dynamics traces (they are pure functions of their
+#: arguments and sweeps re-request the same trace for every fabric/policy).
+_TRACE_MEMO: dict = {}
+_TRACE_MEMO_LIMIT = 256
+
+
 def generate_trace(
     model: MoEModelConfig,
     num_iterations: int,
@@ -106,7 +112,9 @@ def generate_trace(
 
     Returns:
         A :class:`TrainingTrace` with ``ceil(num_iterations / sample_every)``
-        records.
+        records.  Traces are deterministic in their arguments and memoized
+        (for default dynamics), so callers share one instance per argument
+        set and must treat it as immutable.
     """
     if num_iterations <= 0:
         raise ValueError("num_iterations must be positive")
@@ -118,6 +126,13 @@ def generate_trace(
         if not 0 <= layer < model.num_moe_blocks:
             raise ValueError(f"layer {layer} out of range")
 
+    memo_key = None
+    if dynamics is None:
+        memo_key = (model, num_iterations, sample_every, seed, tuple(selected_layers))
+        cached = _TRACE_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+
     trace = TrainingTrace(model=model)
     for step in range(0, num_iterations, sample_every):
         loads = gate.expert_loads(step)
@@ -128,4 +143,13 @@ def generate_trace(
         trace.records.append(
             IterationRecord(iteration=step, expert_loads=loads, traffic_matrices=matrices)
         )
+    if memo_key is not None and len(_TRACE_MEMO) < _TRACE_MEMO_LIMIT:
+        # The memoized instance is shared between callers, so enforce the
+        # immutability contract: in-place writes raise instead of silently
+        # poisoning every later consumer of the same trace.
+        for record in trace.records:
+            record.expert_loads.setflags(write=False)
+            for matrix in record.traffic_matrices:
+                matrix.setflags(write=False)
+        _TRACE_MEMO[memo_key] = trace
     return trace

@@ -44,13 +44,21 @@ class Executor:
     Args:
         graph: The iteration DAG.
         region: The fabric region view providing links and routing.
+        solver: Fluid rate-solver implementation (one of
+            :data:`repro.sim.flows.SOLVERS`); defaults to the process-wide
+            default.
     """
 
-    def __init__(self, graph: TaskGraph, region: RegionNetwork) -> None:
+    def __init__(
+        self,
+        graph: TaskGraph,
+        region: RegionNetwork,
+        solver: Optional[str] = None,
+    ) -> None:
         graph.validate()
         self.graph = graph
         self.region = region
-        self.network = FluidNetwork(region)
+        self.network = FluidNetwork(region, solver=solver)
         self._flow_counter = itertools.count()
 
     # ------------------------------------------------------------------- run

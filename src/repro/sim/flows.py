@@ -6,14 +6,88 @@ link path; at any instant the active flows share each link's capacity
 max–min fairly (progressive water-filling).  The event-driven executor asks
 the network for the time until the next flow completes and advances all flows
 by that amount, which yields exact fluid-model completion times.
+
+Three interchangeable, *exact* rate solvers are provided (see DESIGN.md §2):
+
+* ``"scalar"`` — the original pure-Python reference implementation, kept for
+  differential testing (``tests/test_sim_flows_properties.py`` asserts every
+  solver agrees with it to 1e-9 on randomised topologies).  It rebuilds the
+  link bookkeeping from the flow set on every solve.
+* ``"vectorized"`` — maintains the flow×link incidence structure
+  *incrementally* (adding or removing one flow touches only that flow's
+  links) and solves over it: below :data:`DENSE_ROUND_THRESHOLD` active flows
+  the bottleneck sequence is driven by a lazily-invalidated share heap with
+  exact-tie draining, above it by numpy water-filling rounds over the dense
+  incidence matrix.
+* ``"native"`` — the same incremental structures feeding a small compiled C
+  kernel (:mod:`repro.sim._native`) when a compiler is available; silently
+  falls back to ``"vectorized"`` otherwise.
+
+``"auto"`` (the default) resolves to ``"native"`` when the kernel is
+available and ``"vectorized"`` otherwise.  Select per network with
+``FluidNetwork(region, solver=...)``, per run with
+``RuntimeOptions(fluid_solver=...)``, or process-wide via
+:func:`set_default_solver` / the ``REPRO_FLUID_SOLVER`` environment variable.
+
+Note on capacity changes: the scalar solver re-reads link capacities from the
+region on every solve; the incremental solvers cache them and refresh on
+:meth:`FluidNetwork.mark_topology_changed` (which all in-tree capacity
+mutations already trigger, e.g. the executor after reconfiguration callbacks).
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
 
 from repro.fabric.base import GBPS_TO_BYTES_PER_S, RegionNetwork
+
+#: Accepted solver names (``"auto"`` resolves at construction time).
+SOLVERS = ("auto", "native", "vectorized", "scalar")
+
+#: Active-flow count at which the vectorized solver switches from heap-ordered
+#: to dense-matrix water-filling rounds.
+DENSE_ROUND_THRESHOLD = 512
+
+_default_solver: Optional[str] = None
+
+
+def default_solver() -> str:
+    """The solver new :class:`FluidNetwork` instances use when none is given."""
+    if _default_solver is not None:
+        return _default_solver
+    env = os.environ.get("REPRO_FLUID_SOLVER", "").strip().lower()
+    if not env:
+        return "auto"
+    if env not in SOLVERS:
+        raise ValueError(
+            f"REPRO_FLUID_SOLVER must be one of {SOLVERS}, got {env!r}"
+        )
+    return env
+
+
+def set_default_solver(solver: Optional[str]) -> None:
+    """Override the process-wide default solver (``None`` resets to the env)."""
+    global _default_solver
+    if solver is not None and solver not in SOLVERS:
+        raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
+    _default_solver = solver
+
+
+def resolve_solver(solver: Optional[str]) -> str:
+    """Resolve a requested solver name to a concrete implementation."""
+    solver = solver or default_solver()
+    if solver not in SOLVERS:
+        raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
+    if solver in ("auto", "native"):
+        from repro.sim._native import native_available
+
+        return "native" if native_available() else "vectorized"
+    return solver
 
 
 @dataclass
@@ -40,29 +114,83 @@ class Flow:
         if not self.path:
             raise ValueError("flow path must contain at least one link")
         self.remaining_bytes = float(self.size_bytes)
-
-    @property
-    def finished(self) -> bool:
         # Residue far below the flow's size (or below a millibyte) is
         # floating-point dust left over when several flows complete at
         # (mathematically) the same instant; treating it as finished prevents
         # the event loop from chasing ever-smaller time steps.
-        return self.remaining_bytes <= max(1e-3, 1e-9 * self.size_bytes)
+        self._finish_threshold = max(1e-3, 1e-9 * self.size_bytes)
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining_bytes <= self._finish_threshold
 
 
 class FluidNetwork:
     """Max–min fair fluid bandwidth sharing over a :class:`RegionNetwork`.
 
-    Link capacities are read from the underlying region's :class:`Link`
-    objects at every rate computation, so topology reconfigurations (capacity
-    changes, new optical circuits) made between events take effect
-    immediately.
+    Args:
+        region: The region whose links carry the flows.  Link capacities are
+            re-read whenever :meth:`mark_topology_changed` signals a change,
+            so topology reconfigurations (capacity changes, new optical
+            circuits) made between events take effect immediately.
+        solver: One of :data:`SOLVERS`; defaults to :func:`default_solver`.
+            The concrete implementation in use is exposed as ``self.solver``.
     """
 
-    def __init__(self, region: RegionNetwork) -> None:
+    def __init__(self, region: RegionNetwork, solver: Optional[str] = None) -> None:
         self.region = region
+        self.solver = resolve_solver(solver)
         self._flows: Dict[str, Flow] = {}
         self._rates_dirty = True
+        if self.solver != "scalar":
+            self._init_incremental_state()
+
+    # -------------------------------------------------------- incremental state
+    def _init_incremental_state(self) -> None:
+        self._link_row: Dict[str, int] = {}     # link id -> incidence row
+        self._link_ids: List[str] = []          # row -> link id
+        self._cap_list: List[float] = []        # bytes/s per row
+        self._cap_arr = np.zeros(0)             # numpy mirror for the kernel
+        self._capacity_dirty = True
+        self._row_flows: List[List[Flow]] = []  # row -> active flows crossing it
+        self._count_list: List[int] = []        # row -> active traversal count
+        self._path_rows: Dict[str, List[int]] = {}
+        # Native-kernel scratch: CSR buffers are persistent and only refilled
+        # when the flow set changes; cffi pointers are cached per allocation.
+        self._native_loaded = None
+        self._csr_valid = False
+        self._csr_flows: List[Flow] = []
+        self._ptr_buf = np.zeros(0, dtype=np.int32)
+        self._rows_buf = np.zeros(0, dtype=np.int32)
+        self._rates_buf = np.zeros(0)
+        self._ptr_ptr = self._rows_ptr = self._rates_ptr = self._cap_ptr = None
+
+    def _row_for(self, link_id: str) -> int:
+        row = self._link_row.get(link_id)
+        if row is not None:
+            return row
+        row = len(self._link_ids)
+        self._link_row[link_id] = row
+        self._link_ids.append(link_id)
+        self._cap_list.append(0.0)
+        self._row_flows.append([])
+        self._count_list.append(0)
+        self._capacity_dirty = True
+        return row
+
+    def _refresh_capacities(self) -> None:
+        links = self.region.links
+        for row, link_id in enumerate(self._link_ids):
+            # A link can vanish from the region (e.g. an optical circuit torn
+            # down by a reconfiguration); no active flow references it then,
+            # so it only needs a capacity that keeps it off the bottleneck
+            # scan.
+            link = links.get(link_id)
+            capacity = max(0.0, link.capacity_gbps) if link is not None else 0.0
+            self._cap_list[row] = capacity * GBPS_TO_BYTES_PER_S
+        self._cap_arr = np.array(self._cap_list)
+        self._cap_ptr = None  # points into the replaced array; recreate lazily
+        self._capacity_dirty = False
 
     # --------------------------------------------------------------- flow ops
     @property
@@ -79,25 +207,239 @@ class FluidNetwork:
             if link_id not in self.region.links:
                 raise KeyError(f"flow {flow.flow_id} uses unknown link {link_id!r}")
         self._flows[flow.flow_id] = flow
+        if self.solver != "scalar":
+            rows = [self._row_for(link_id) for link_id in flow.path]
+            self._path_rows[flow.flow_id] = rows
+            for row in rows:
+                self._row_flows[row].append(flow)
+                self._count_list[row] += 1
+            self._csr_valid = False
         self._rates_dirty = True
 
     def remove_flow(self, flow_id: str) -> Flow:
         flow = self._flows.pop(flow_id)
+        if self.solver != "scalar":
+            self._forget_flow(flow)
         self._rates_dirty = True
         return flow
+
+    def _forget_flow(self, flow: Flow) -> None:
+        for row in self._path_rows.pop(flow.flow_id):
+            self._row_flows[row].remove(flow)
+            self._count_list[row] -= 1
+        self._csr_valid = False
 
     def mark_topology_changed(self) -> None:
         """Signal that link capacities changed (forces a rate recomputation)."""
         self._rates_dirty = True
+        if self.solver != "scalar":
+            self._capacity_dirty = True
 
     # ------------------------------------------------------------ rate solver
     def compute_rates(self) -> None:
-        """Progressive water-filling max–min fair allocation."""
+        """Max–min fair allocation; updates every flow's ``rate``."""
+        if self.solver == "scalar":
+            self._compute_rates_scalar()
+        else:
+            if self._capacity_dirty:
+                self._refresh_capacities()
+            if self.solver == "native":
+                self._solve_native()
+            elif len(self._flows) >= DENSE_ROUND_THRESHOLD:
+                self._solve_rounds_dense()
+            else:
+                self._solve_rounds_heap()
+        self._rates_dirty = False
+
+    def _solve_rounds_heap(self) -> None:
+        """Progressive water-filling with a heap-ordered bottleneck sequence.
+
+        Each round pops the link with the smallest residual fair share,
+        freezes every unfrozen flow crossing it at that share, drains any
+        *exactly* tied links that the freeze left untouched (their shares are
+        provably still minimal), and finally pushes one refreshed entry per
+        touched link.  Stale heap entries are invalidated lazily via per-link
+        version counters.  Initial entries share version 0, so first-round
+        ties break on row index — link-registration order, like the scalar
+        reference's dict scan.
+        """
+        flows = self._flows
+        for flow in flows.values():
+            flow.rate = 0.0
+        if not flows:
+            return
+        counts = self._count_list.copy()
+        residual = self._cap_list.copy()
+        num_rows = len(counts)
+        version = [0] * num_rows
+        row_flows = self._row_flows
+        path_rows = self._path_rows
+        heap = [
+            (residual[row] / counts[row], 0, row)
+            for row in range(num_rows)
+            if counts[row] > 0
+        ]
+        heapq.heapify(heap)
+        unfrozen = set(flows)
+        touched: List[int] = []
+        touched_flag = bytearray(num_rows)
+        pop = heapq.heappop
+        push = heapq.heappush
+
+        def freeze_link(row: int, share: float) -> None:
+            for flow in row_flows[row]:
+                flow_id = flow.flow_id
+                if flow_id not in unfrozen:
+                    continue
+                flow.rate = share
+                unfrozen.discard(flow_id)
+                for touched_row in path_rows[flow_id]:
+                    value = residual[touched_row] - share
+                    residual[touched_row] = value if value > 0.0 else 0.0
+                    counts[touched_row] -= 1
+                    version[touched_row] += 1
+                    if not touched_flag[touched_row]:
+                        touched_flag[touched_row] = 1
+                        touched.append(touched_row)
+
+        while unfrozen:
+            while heap:
+                share, entry_version, row = pop(heap)
+                if entry_version == version[row] and counts[row] > 0:
+                    break
+            else:
+                # No remaining constraints: unconstrained flows get "infinite"
+                # rate; in practice every path has at least one finite link.
+                for flow_id in unfrozen:
+                    flows[flow_id].rate = float("inf")
+                break
+            if share < 0.0:
+                share = 0.0
+            freeze_link(row, share)
+            # Exact ties whose links the freeze did not touch still hold the
+            # minimal share (shares of touched links can only grow), so they
+            # can be drained in the same round; touched links' entries are
+            # stale by version and skipped.
+            while heap and heap[0][0] == share:
+                _, entry_version, tied_row = pop(heap)
+                if entry_version == version[tied_row] and counts[tied_row] > 0:
+                    freeze_link(tied_row, share)
+            for touched_row in touched:
+                touched_flag[touched_row] = 0
+                if counts[touched_row] > 0:
+                    push(
+                        heap,
+                        (
+                            residual[touched_row] / counts[touched_row],
+                            version[touched_row],
+                            touched_row,
+                        ),
+                    )
+            touched.clear()
+
+    def _solve_rounds_dense(self) -> None:
+        """Progressive water-filling as numpy rounds over the dense incidence
+        matrix — the profitable formulation once enough flows are active."""
         flows = list(self._flows.values())
         for flow in flows:
             flow.rate = 0.0
         if not flows:
-            self._rates_dirty = False
+            return
+        num_rows = len(self._link_ids)
+        num_flows = len(flows)
+        row_index: List[int] = []
+        col_index: List[int] = []
+        for compact, flow in enumerate(flows):
+            for row in self._path_rows[flow.flow_id]:
+                row_index.append(row)
+                col_index.append(compact)
+        incidence = np.zeros((num_rows, num_flows))
+        np.add.at(incidence, (row_index, col_index), 1.0)
+        residual = self._cap_arr.copy()
+        rates = np.zeros(num_flows)
+        unfrozen = np.ones(num_flows, dtype=bool)
+        counts = incidence.sum(axis=1)
+        while unfrozen.any():
+            carrying = counts > 0.0
+            if not carrying.any():
+                rates[unfrozen] = np.inf
+                break
+            shares = np.full(num_rows, np.inf)
+            np.divide(residual, counts, out=shares, where=carrying)
+            bottleneck = int(np.argmin(shares))
+            share = max(0.0, float(shares[bottleneck]))
+            freeze = unfrozen & (incidence[bottleneck] > 0.0)
+            rates[freeze] = share
+            unfrozen &= ~freeze
+            frozen_counts = incidence[:, np.nonzero(freeze)[0]].sum(axis=1)
+            residual -= share * frozen_counts
+            np.maximum(residual, 0.0, out=residual)
+            counts -= frozen_counts
+        for flow, rate in zip(flows, rates.tolist()):
+            flow.rate = rate
+
+    def _ensure_native_buffers(self, num_flows: int, nnz: int) -> None:
+        _, ffi = self._native_loaded
+        if len(self._ptr_buf) < num_flows + 1:
+            self._ptr_buf = np.zeros(max(2 * (num_flows + 1), 64), dtype=np.int32)
+            self._ptr_ptr = ffi.cast("const int *", ffi.from_buffer(self._ptr_buf))
+        if len(self._rows_buf) < nnz:
+            self._rows_buf = np.zeros(max(2 * nnz, 256), dtype=np.int32)
+            self._rows_ptr = ffi.cast("const int *", ffi.from_buffer(self._rows_buf))
+        if len(self._rates_buf) < num_flows:
+            self._rates_buf = np.zeros(max(2 * num_flows, 64))
+            self._rates_ptr = ffi.cast("double *", ffi.from_buffer(self._rates_buf))
+
+    def _solve_native(self) -> None:
+        """Feed the incremental incidence (as CSR arrays) to the C kernel."""
+        if self._native_loaded is None:
+            from repro.sim._native import native_lib
+
+            self._native_loaded = native_lib()
+            if self._native_loaded is None:
+                # Compiler/kernel unavailable after all; degrade gracefully.
+                self.solver = "vectorized"
+                if len(self._flows) >= DENSE_ROUND_THRESHOLD:
+                    self._solve_rounds_dense()
+                else:
+                    self._solve_rounds_heap()
+                return
+        lib, ffi = self._native_loaded
+        if not self._flows:
+            return
+        if not self._csr_valid:
+            flows = list(self._flows.values())
+            path_rows = self._path_rows
+            flow_ptr = [0]
+            flow_rows: List[int] = []
+            for flow in flows:
+                flow_rows.extend(path_rows[flow.flow_id])
+                flow_ptr.append(len(flow_rows))
+            self._ensure_native_buffers(len(flows), len(flow_rows))
+            self._ptr_buf[: len(flow_ptr)] = flow_ptr
+            self._rows_buf[: len(flow_rows)] = flow_rows
+            self._csr_flows = flows
+            self._csr_valid = True
+        flows = self._csr_flows
+        if self._cap_ptr is None:
+            self._cap_ptr = ffi.cast("const double *", ffi.from_buffer(self._cap_arr))
+        lib.waterfill(
+            len(flows),
+            len(self._link_ids),
+            self._ptr_ptr,
+            self._rows_ptr,
+            self._cap_ptr,
+            self._rates_ptr,
+        )
+        for flow, rate in zip(flows, self._rates_buf[: len(flows)].tolist()):
+            flow.rate = rate
+
+    def _compute_rates_scalar(self) -> None:
+        """Reference implementation: pure-Python progressive water-filling."""
+        flows = list(self._flows.values())
+        for flow in flows:
+            flow.rate = 0.0
+        if not flows:
             return
 
         link_capacity: Dict[str, float] = {}
@@ -142,7 +484,6 @@ class FluidNetwork:
                 for link_id in flow.path:
                     residual[link_id] = max(0.0, residual[link_id] - share)
                     active_on_link[link_id] -= 1
-        self._rates_dirty = False
 
     # ------------------------------------------------------------ progression
     def time_to_next_completion(self) -> Optional[float]:
@@ -168,12 +509,17 @@ class FluidNetwork:
         if self._rates_dirty:
             self.compute_rates()
         finished: List[Flow] = []
+        scalar = self.solver == "scalar"
         for flow in list(self._flows.values()):
-            if flow.rate > 0:
-                flow.remaining_bytes = max(0.0, flow.remaining_bytes - flow.rate * dt)
-            if flow.finished:
+            rate = flow.rate
+            if rate > 0:
+                remaining = flow.remaining_bytes - rate * dt
+                flow.remaining_bytes = remaining if remaining > 0.0 else 0.0
+            if flow.remaining_bytes <= flow._finish_threshold:
                 finished.append(flow)
                 del self._flows[flow.flow_id]
+                if not scalar:
+                    self._forget_flow(flow)
         if finished:
             self._rates_dirty = True
         return finished

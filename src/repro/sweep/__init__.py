@@ -1,0 +1,46 @@
+"""Parallel configuration-sweep engine (DESIGN.md §3).
+
+The paper's large-scale evaluation (Figures 12-14, 26) is a grid of
+fabrics × models × runtime policies × failure scenarios.  This package turns
+that grid into first-class objects:
+
+* :class:`SweepSpec` — a declarative cartesian grid over fabrics, models,
+  first-all-to-all policies, reconfiguration delays, failure scenarios, link
+  bandwidths and seeds, expanded into concrete :class:`SweepConfig` records;
+* :class:`SweepConfig` — one fully-specified simulation, JSON-serializable
+  and content-hashed so results can be cached and reproduced;
+* :class:`SweepRunner` — fans configurations out over ``multiprocessing``
+  workers (or runs them inline), with per-configuration result caching keyed
+  by the config hash;
+* :class:`SweepResult` — a structured, JSON-serializable record of one run;
+* a CLI: ``python -m repro.sweep --help``.
+
+Every figure-style driver (``simulate_fabrics``, the examples, the
+``benchmarks/test_fig*`` harness) routes through :func:`run_case` /
+:class:`SweepRunner`, so scenario-diversity work only has to extend the grid.
+"""
+
+from repro.sweep.registry import (
+    FABRIC_BUILDERS,
+    SWEEP_MODELS,
+    build_fabric,
+    parse_failure,
+    resolve_model,
+)
+from repro.sweep.spec import CONFIG_SCHEMA_VERSION, SweepConfig, SweepSpec
+from repro.sweep.runner import SweepResult, SweepRunner, run_case, run_config
+
+__all__ = [
+    "CONFIG_SCHEMA_VERSION",
+    "FABRIC_BUILDERS",
+    "SWEEP_MODELS",
+    "SweepConfig",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "build_fabric",
+    "parse_failure",
+    "resolve_model",
+    "run_case",
+    "run_config",
+]

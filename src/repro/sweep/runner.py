@@ -1,0 +1,229 @@
+"""Sweep execution: single cases, worker pools and the result cache.
+
+The runner executes :class:`~repro.sweep.spec.SweepConfig` records —
+serially in-process or fanned out over ``multiprocessing`` workers — and
+returns structured, JSON-serializable :class:`SweepResult` records.  Results
+are deterministic per configuration (each config carries its own seed and the
+simulator is seed-deterministic), so the worker count never changes the
+numbers, only the wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.runtime import IterationResult, RuntimeOptions, TrainingSimulator
+from repro.fabric.base import Fabric
+from repro.moe.models import MoEModelConfig
+from repro.moe.trace import IterationRecord
+from repro.sweep.registry import build_fabric, parse_failure, resolve_model
+from repro.sweep.spec import SweepConfig, SweepSpec
+
+
+def run_case(
+    model: MoEModelConfig,
+    fabric: Fabric,
+    options: Optional[RuntimeOptions] = None,
+    record: Optional[IterationRecord] = None,
+    failure=None,
+    cluster: Optional[ClusterSpec] = None,
+) -> IterationResult:
+    """Simulate one (model, fabric) case — the common core of every driver.
+
+    ``simulate_fabrics`` and the sweep workers both funnel through here so a
+    single code path owns simulator construction.
+    """
+    simulator = TrainingSimulator(
+        model, cluster or fabric.cluster, fabric, options=options
+    )
+    return simulator.simulate_iteration(record=record, failure=failure)
+
+
+@dataclass
+class SweepResult:
+    """Structured outcome of one sweep configuration."""
+
+    config: Dict[str, object]
+    config_hash: str
+    fabric: str
+    model: str
+    iteration_time_s: float
+    stage_time_s: float
+    dp_allreduce_s: float
+    pp_transfer_s: float
+    reconfig_blocking_s: float
+    comm_bytes: float
+    compute_time_s: float
+    num_micro_batches: int
+    tokens_per_iteration: float
+    tokens_per_second: float
+    wall_time_s: float = 0.0
+    from_cache: bool = False
+
+    @classmethod
+    def from_iteration(
+        cls, config: SweepConfig, result: IterationResult, wall_time_s: float
+    ) -> "SweepResult":
+        return cls(
+            config=config.to_dict(),
+            config_hash=config.config_hash(),
+            fabric=result.fabric,
+            model=result.model,
+            iteration_time_s=result.iteration_time_s,
+            stage_time_s=result.stage_time_s,
+            dp_allreduce_s=result.dp_allreduce_s,
+            pp_transfer_s=result.pp_transfer_s,
+            reconfig_blocking_s=result.reconfig_blocking_s,
+            comm_bytes=result.comm_bytes,
+            compute_time_s=result.compute_time_s,
+            num_micro_batches=result.num_micro_batches,
+            tokens_per_iteration=result.tokens_per_iteration,
+            tokens_per_second=result.tokens_per_second,
+            wall_time_s=wall_time_s,
+            from_cache=False,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SweepResult":
+        return cls(**payload)
+
+
+def run_config(config: SweepConfig, solver: Optional[str] = None) -> SweepResult:
+    """Materialise one configuration and simulate it."""
+    from repro.cluster import simulation_cluster
+
+    start = time.perf_counter()
+    model = resolve_model(config.model)
+    cluster = simulation_cluster(
+        config.num_servers,
+        nic_bandwidth_gbps=config.nic_bandwidth_gbps,
+        ocs_nics=config.ocs_nics,
+    )
+    fabric = build_fabric(config.fabric, cluster)
+    options = RuntimeOptions(
+        first_a2a_policy=config.first_a2a_policy,
+        reconfiguration_delay_s=config.reconfiguration_delay_s,
+        seed=config.seed,
+        fluid_solver=solver,
+    )
+    result = run_case(
+        model,
+        fabric,
+        options=options,
+        failure=parse_failure(config.failure),
+        cluster=cluster,
+    )
+    return SweepResult.from_iteration(config, result, time.perf_counter() - start)
+
+
+def _worker(payload: Tuple[Dict[str, object], Optional[str]]) -> Dict[str, object]:
+    """Pool entry point (module-level so it pickles)."""
+    config_dict, solver = payload
+    return run_config(SweepConfig.from_dict(config_dict), solver=solver).to_dict()
+
+
+class SweepRunner:
+    """Runs a sweep, optionally parallel and optionally cached.
+
+    Args:
+        sweep: A :class:`SweepSpec` or an explicit sequence of
+            :class:`SweepConfig` records.
+        workers: Worker processes; ``0`` or ``1`` runs inline (no pool).
+        cache_dir: Directory for per-configuration result JSON keyed by the
+            config hash; ``None`` disables caching.
+        solver: Fluid-solver override forwarded to every run (``None`` keeps
+            the process default).
+    """
+
+    def __init__(
+        self,
+        sweep: Union[SweepSpec, Sequence[SweepConfig]],
+        workers: int = 0,
+        cache_dir: Optional[str] = None,
+        solver: Optional[str] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.configs: List[SweepConfig] = (
+            sweep.expand() if isinstance(sweep, SweepSpec) else list(sweep)
+        )
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.solver = solver
+
+    # ----------------------------------------------------------------- cache
+    def _cache_path(self, config: SweepConfig) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{config.config_hash()}.json")
+
+    def _cache_load(self, config: SweepConfig) -> Optional[SweepResult]:
+        path = self._cache_path(config)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("config_hash") != config.config_hash():
+                return None
+            result = SweepResult.from_dict(payload)
+        except (OSError, ValueError, TypeError, AttributeError, KeyError):
+            # Unreadable, non-dict, or schema-mismatched entries (e.g. written
+            # by a different version) are recomputed rather than fatal.
+            return None
+        result.from_cache = True
+        return result
+
+    def _cache_store(self, result: SweepResult) -> None:
+        if self.cache_dir is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = os.path.join(self.cache_dir, f"{result.config_hash}.json")
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
+        os.replace(tmp_path, path)
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> List[SweepResult]:
+        """Execute the sweep; results are ordered like the configurations."""
+        results: List[Optional[SweepResult]] = [None] * len(self.configs)
+        misses: List[int] = []
+        for index, config in enumerate(self.configs):
+            cached = self._cache_load(config)
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append(index)
+
+        if misses:
+            fresh: Iterable[SweepResult]
+            if self.workers <= 1:
+                fresh = (
+                    run_config(self.configs[index], solver=self.solver)
+                    for index in misses
+                )
+            else:
+                payloads = [
+                    (self.configs[index].to_dict(), self.solver) for index in misses
+                ]
+                with multiprocessing.Pool(processes=self.workers) as pool:
+                    fresh = [
+                        SweepResult.from_dict(payload)
+                        for payload in pool.map(_worker, payloads)
+                    ]
+            for index, result in zip(misses, fresh):
+                self._cache_store(result)
+                results[index] = result
+
+        assert all(result is not None for result in results)
+        return [result for result in results if result is not None]

@@ -5,6 +5,7 @@ import pytest
 from repro.cluster import simulation_cluster
 from repro.core.failures import FailureScenario
 from repro.core.runtime import (
+    IterationResult,
     RuntimeOptions,
     TrainingSimulator,
     normalized_iteration_times,
@@ -161,6 +162,61 @@ class TestFailureImpact:
         baseline = run(MixNetFabric(CLUSTER))
         server = run(MixNetFabric(CLUSTER), failure=FailureScenario.server_failure())
         assert server.iteration_time_s < 1.5 * baseline.iteration_time_s
+
+
+class TestEffectiveOpticalDegree:
+    def make_simulator(self):
+        return TrainingSimulator(MIXTRAL_8x7B, CLUSTER, MixNetFabric(CLUSTER))
+
+    def test_two_penalized_servers_take_worst_case(self):
+        """Regression: the old loop let whichever server was visited last win,
+        so a small penalty ordered after a large one restored optical NICs
+        that the slice had actually lost."""
+        from repro.core.failures import FailureEffects
+
+        simulator = self.make_simulator()
+        base = simulator.fabric.optical_degree
+        first, second = simulator.region_servers[:2]
+        # Insertion order matters for the regression: the milder penalty last.
+        effects = FailureEffects(ocs_degree_penalty={first: 3, second: 1})
+        assert simulator._effective_optical_degree(effects) == max(0, base - 3)
+
+    def test_servers_outside_region_ignored(self):
+        from repro.core.failures import FailureEffects
+
+        simulator = self.make_simulator()
+        base = simulator.fabric.optical_degree
+        outside = max(simulator.region_servers) + 1000
+        effects = FailureEffects(ocs_degree_penalty={outside: 5})
+        assert simulator._effective_optical_degree(effects) == base
+
+    def test_penalty_floors_at_zero(self):
+        from repro.core.failures import FailureEffects
+
+        simulator = self.make_simulator()
+        server = simulator.region_servers[0]
+        effects = FailureEffects(ocs_degree_penalty={server: 999})
+        assert simulator._effective_optical_degree(effects) == 0
+
+
+class TestNormalizedReferenceGuard:
+    def make_result(self, iteration_time_s):
+        return IterationResult(
+            fabric="Fat-tree", model="m", iteration_time_s=iteration_time_s,
+            stage_time_s=0.0, dp_allreduce_s=0.0, pp_transfer_s=0.0,
+            reconfig_blocking_s=0.0, comm_bytes=0.0, compute_time_s=0.0,
+            num_micro_batches=1, tokens_per_iteration=0.0,
+        )
+
+    def test_zero_reference_time_raises(self):
+        results = {"Fat-tree": self.make_result(0.0)}
+        with pytest.raises(ValueError, match="zero or near-zero"):
+            normalized_iteration_times(results)
+
+    def test_near_zero_reference_time_raises(self):
+        results = {"Fat-tree": self.make_result(1e-15)}
+        with pytest.raises(ValueError, match="zero or near-zero"):
+            normalized_iteration_times(results)
 
 
 class TestMicroBatchScaling:
