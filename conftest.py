@@ -1,0 +1,16 @@
+"""Repo-level pytest configuration.
+
+Registers the ``--quick`` smoke-mode flag here (the rootdir conftest) so it
+is available both for full-tree runs and for targeted benchmark invocations
+like ``pytest benchmarks/test_reconfig_throughput.py --quick``; benchmarks
+that support it shrink their problem sizes and skip speedup assertions.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks in smoke mode (small sizes, no speedup assertions)",
+    )

@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.cluster.spec import ClusterSpec
 from repro.core.demand import rank_to_server_demand
-from repro.core.reconfigure import CircuitAllocation, reconfigure_ocs, uniform_allocation
+from repro.core.reconfigure import (
+    CircuitAllocation,
+    reconfigure_ocs,
+    resolve_engine,
+    uniform_allocation,
+)
 from repro.fabric.mixnet import MixNetRegionNetwork
 
 
@@ -48,6 +53,10 @@ class RegionalTopologyController:
         optical_degree: Optical NICs per server available to this slice.
         reconfiguration_delay_s: Device switching delay (25 ms by default,
             matching the paper's Polatis-class assumption).
+        reconfig_engine: Algorithm 1 engine
+            (:data:`repro.core.reconfigure.ENGINES`); ``None`` uses the
+            process-wide default.  Engines produce identical allocations —
+            the knob exists for differential testing and benchmarking.
     """
 
     def __init__(
@@ -56,15 +65,19 @@ class RegionalTopologyController:
         cluster: ClusterSpec,
         optical_degree: int,
         reconfiguration_delay_s: float = 0.025,
+        reconfig_engine: Optional[str] = None,
     ) -> None:
         if optical_degree < 0:
             raise ValueError("optical_degree must be non-negative")
         if reconfiguration_delay_s < 0:
             raise ValueError("reconfiguration_delay_s must be non-negative")
+        if reconfig_engine is not None:
+            resolve_engine(reconfig_engine)  # validates the name
         self.region = region
         self.cluster = cluster
         self.optical_degree = optical_degree
         self.reconfiguration_delay_s = reconfiguration_delay_s
+        self.reconfig_engine = reconfig_engine
         self._installed: Optional[CircuitAllocation] = None
         self._excluded_servers: set[int] = set()
         self.total_blocking_s = 0.0
@@ -104,6 +117,7 @@ class RegionalTopologyController:
             servers=servers,
             cluster=self.cluster,
             link_bandwidth_gbps=self.cluster.server.nic_bandwidth_gbps,
+            engine=self.reconfig_engine,
         )
 
     def plan_uniform(self, servers: Sequence[int]) -> CircuitAllocation:
@@ -134,9 +148,16 @@ class RegionalTopologyController:
 
     # ------------------------------------------------------------ application
     def install(self, allocation: CircuitAllocation) -> float:
-        """Install an allocation on the region network; returns device delay."""
+        """Install an allocation on the region network; returns device delay.
+
+        Every install that changes the region's circuits counts as a
+        reconfiguration — including zero-delay ones (first installs on an
+        instantaneous device, delay-0 sweeps), which the device delay alone
+        cannot detect.  The OCS device is the single change detector.
+        """
+        changes_before = self.region.ocs.reconfiguration_count
         delay = self.region.apply_circuits(allocation.circuits)
-        if delay > 0:
+        if self.region.ocs.reconfiguration_count != changes_before:
             self.reconfigurations += 1
         self._installed = allocation
         return delay

@@ -40,15 +40,16 @@ def rank_to_server_demand(
     ep = len(group_ranks)
     if matrix.shape != (ep, ep):
         raise ValueError(f"rank_matrix must be {ep}x{ep}, got {matrix.shape}")
-    servers = sorted({cluster.server_of_gpu(rank) for rank in group_ranks})
+    rank_servers = [cluster.server_of_gpu(rank) for rank in group_ranks]
+    servers = sorted(set(rank_servers))
     index = {server: i for i, server in enumerate(servers)}
     demand = np.zeros((len(servers), len(servers)))
-    for i, src_rank in enumerate(group_ranks):
-        src = index[cluster.server_of_gpu(src_rank)]
-        for j, dst_rank in enumerate(group_ranks):
-            dst = index[cluster.server_of_gpu(dst_rank)]
-            if src != dst:
-                demand[src, dst] += matrix[i, j]
+    # Scatter-aggregate all ep² entries at once; np.add.at accumulates in the
+    # same row-major order as the former Python double loop, so the sums are
+    # bit-identical.  Same-server traffic lands on the diagonal, zeroed after.
+    positions = np.fromiter((index[s] for s in rank_servers), dtype=np.intp, count=ep)
+    np.add.at(demand, (positions[:, None], positions[None, :]), matrix)
+    np.fill_diagonal(demand, 0.0)
     return demand, servers
 
 

@@ -8,17 +8,64 @@ exhausted its optical NICs.  The resulting circuit-count matrix is then turned
 into a concrete NIC-level TX/RX mapping, permuted so that multiple circuits
 between the same server pair land on different NUMA nodes (step 4), which the
 collective runtime relies on to avoid intra-host congestion.
+
+Two interchangeable, *exact* engines drive the greedy loop (DESIGN.md §5):
+
+* ``"scalar"`` — the original pure-Python implementation, kept verbatim as
+  the differential-testing oracle.  Every greedy step copies the masked
+  demand matrix and rescans all O(n²) server pairs.
+* ``"vectorized"`` — a lazily-invalidated max-heap over per-pair completion
+  times replaces the per-step rescan; NIC availability and the blocked-pair
+  set are maintained incrementally with no per-step matrix copies, and the
+  post-loop bookkeeping (circuit-map extraction, completion estimate) runs
+  as numpy reductions.  Each greedy step costs O(log P) instead of O(n²).
+
+Both engines produce bit-identical allocations (same circuit map, NIC
+mapping, completion estimate and iteration count — the differential suite in
+``tests/test_reconfigure_engines.py`` checks this on randomised demand).
+``"auto"`` (the default) resolves to ``"vectorized"``.  Select per call with
+``reconfigure_ocs(..., engine=...)``, per run with
+``RuntimeOptions(reconfig_engine=...)``, or process-wide via
+:func:`set_default_engine` / the ``REPRO_RECONFIG_ENGINE`` environment
+variable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.cluster.spec import ClusterSpec, NICFabric
 from repro.core.demand import symmetrize_upper
+from repro.selection import ImplementationSelector
+
+#: Accepted engine names (``"auto"`` resolves at call time).
+ENGINES = ("auto", "vectorized", "scalar")
+
+_selector = ImplementationSelector(
+    kind="engine",
+    names=ENGINES,
+    env_var="REPRO_RECONFIG_ENGINE",
+    resolver=lambda engine: "vectorized" if engine == "auto" else engine,
+)
+
+
+def default_engine() -> str:
+    """The engine :func:`reconfigure_ocs` uses when none is given."""
+    return _selector.default()
+
+
+def set_default_engine(engine: Optional[str]) -> None:
+    """Override the process-wide default engine (``None`` resets to the env)."""
+    _selector.set_default(engine)
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Resolve a requested engine name to a concrete implementation."""
+    return _selector.resolve(engine)
 
 
 @dataclass(frozen=True)
@@ -87,47 +134,19 @@ def find_bottleneck_link(
     return best
 
 
-def reconfigure_ocs(
-    demand: np.ndarray,
-    optical_degree: int,
-    servers: Sequence[int],
-    cluster: Optional[ClusterSpec] = None,
-    link_bandwidth_gbps: float = 400.0,
-    skip_saturated_pairs: bool = False,
-) -> CircuitAllocation:
-    """Algorithm 1: greedy bottleneck-first circuit allocation.
+def _greedy_scalar(
+    demand_upper: np.ndarray, optical_degree: int, skip_saturated_pairs: bool
+) -> Tuple[np.ndarray, int]:
+    """The seed's pure-Python greedy loop, kept verbatim as the oracle.
 
-    Args:
-        demand: Directed inter-server demand in bytes, indexed positionally
-            over ``servers`` (use :func:`repro.core.demand.rank_to_server_demand`
-            to produce it).
-        optical_degree: Optical NICs per server available for circuits (alpha).
-        servers: Server ids of the region, aligned with ``demand``.
-        cluster: Optional cluster spec used to derive the NUMA-aware NIC
-            mapping; if omitted, NICs alternate between two NUMA nodes.
-        link_bandwidth_gbps: Per-circuit line rate, used for the completion
-            time estimate returned with the allocation.
-        skip_saturated_pairs: The paper's pseudo-code stops as soon as the
-            current bottleneck pair has no free NICs; setting this flag makes
-            the greedy loop skip such pairs instead (used as an ablation).
-
-    Returns:
-        A :class:`CircuitAllocation` with per-pair circuit counts and a
-        NUMA-balanced NIC mapping.
+    Every step copies the demand matrix to mask blocked pairs and rescans all
+    O(n²) pairs via :func:`find_bottleneck_link`.
     """
-    servers = list(servers)
-    n = len(servers)
-    demand = np.asarray(demand, dtype=float)
-    if demand.shape != (n, n):
-        raise ValueError(f"demand must be {n}x{n} to match servers, got {demand.shape}")
-    if optical_degree < 0:
-        raise ValueError("optical_degree must be non-negative")
-
-    demand_upper = calculate_server_demand(demand)
+    n = demand_upper.shape[0]
     circuits = np.zeros((n, n), dtype=int)
     available = {idx: optical_degree for idx in range(n)}
     iterations = 0
-    blocked: set[Tuple[int, int]] = set()
+    blocked: Set[Tuple[int, int]] = set()
 
     while True:
         masked = demand_upper.copy()
@@ -148,17 +167,135 @@ def reconfigure_ocs(
                 blocked.add((i, j))
                 continue
             break
+    return circuits, iterations
 
-    circuit_map: Dict[Tuple[int, int], int] = {}
-    for a in range(n):
-        for b in range(a + 1, n):
-            if circuits[a, b] > 0:
-                circuit_map[(servers[a], servers[b])] = int(circuits[a, b])
+
+def _greedy_heap(
+    demand_upper: np.ndarray, optical_degree: int, skip_saturated_pairs: bool
+) -> Tuple[np.ndarray, int]:
+    """Heap-driven greedy loop: the bottleneck pair in O(log P) per step.
+
+    The max-heap orders pairs by ``(-completion_time, -demand, i, j)``, which
+    reproduces the oracle's selection rule exactly: longest completion time
+    first (unallocated pairs are infinite), ties broken by larger demand, then
+    by row-major pair order (the first strict improvement the oracle's scan
+    would keep).  Entries are invalidated lazily: allocating a circuit pushes
+    the pair's refreshed entry, so a popped entry whose recorded circuit count
+    disagrees with the current one is stale and dropped.  Saturated pairs are
+    dropped permanently when popped (the blocked set of the ablation), so no
+    masked matrix copy is ever made.
+    """
+    n = demand_upper.shape[0]
+    circuits = np.zeros((n, n), dtype=int)
+    pair_i, pair_j = np.nonzero(demand_upper > 0.0)
+    neg_inf = float("-inf")
+    heap: List[Tuple[float, float, int, int, int]] = [
+        (neg_inf, -demand, i, j, 0)
+        for demand, i, j in zip(
+            demand_upper[pair_i, pair_j].tolist(), pair_i.tolist(), pair_j.tolist()
+        )
+    ]
+    heapq.heapify(heap)
+    allocated: Dict[Tuple[int, int], int] = {}
+    available = [optical_degree] * n
+    iterations = 0
+    pop = heapq.heappop
+    push = heapq.heappush
+
+    while heap:
+        _, neg_demand, i, j, count = pop(heap)
+        if allocated.get((i, j), 0) != count:
+            continue  # stale: superseded by the entry pushed at allocation time
+        if available[i] > 0 and available[j] > 0:
+            count += 1
+            allocated[(i, j)] = count
+            available[i] -= 1
+            available[j] -= 1
+            iterations += 1
+            # (-d)/c == -(d/c) exactly in IEEE 754, so the key matches the
+            # oracle's ``demand / allocated`` comparison bit for bit.
+            push(heap, (neg_demand / count, neg_demand, i, j, count))
+        elif skip_saturated_pairs:
+            continue  # permanently blocked: drop the pair's only live entry
+        else:
+            break
+
+    if allocated:
+        rows, cols = zip(*allocated)
+        counts = list(allocated.values())
+        circuits[rows, cols] = counts
+        circuits[cols, rows] = counts
+    return circuits, iterations
+
+
+def reconfigure_ocs(
+    demand: np.ndarray,
+    optical_degree: int,
+    servers: Sequence[int],
+    cluster: Optional[ClusterSpec] = None,
+    link_bandwidth_gbps: float = 400.0,
+    skip_saturated_pairs: bool = False,
+    engine: Optional[str] = None,
+) -> CircuitAllocation:
+    """Algorithm 1: greedy bottleneck-first circuit allocation.
+
+    Args:
+        demand: Directed inter-server demand in bytes, indexed positionally
+            over ``servers`` (use :func:`repro.core.demand.rank_to_server_demand`
+            to produce it).
+        optical_degree: Optical NICs per server available for circuits (alpha).
+        servers: Server ids of the region, aligned with ``demand``.
+        cluster: Optional cluster spec used to derive the NUMA-aware NIC
+            mapping; if omitted, NICs alternate between two NUMA nodes.
+        link_bandwidth_gbps: Per-circuit line rate, used for the completion
+            time estimate returned with the allocation.
+        skip_saturated_pairs: The paper's pseudo-code stops as soon as the
+            current bottleneck pair has no free NICs; setting this flag makes
+            the greedy loop skip such pairs instead (used as an ablation).
+        engine: One of :data:`ENGINES`; defaults to :func:`default_engine`.
+            Both engines produce identical allocations — the knob exists for
+            differential testing and benchmarking.
+
+    Returns:
+        A :class:`CircuitAllocation` with per-pair circuit counts and a
+        NUMA-balanced NIC mapping.
+    """
+    servers = list(servers)
+    n = len(servers)
+    demand = np.asarray(demand, dtype=float)
+    if demand.shape != (n, n):
+        raise ValueError(f"demand must be {n}x{n} to match servers, got {demand.shape}")
+    if optical_degree < 0:
+        raise ValueError("optical_degree must be non-negative")
+    engine_name = resolve_engine(engine)
+
+    demand_upper = calculate_server_demand(demand)
+    if engine_name == "scalar":
+        circuits, iterations = _greedy_scalar(
+            demand_upper, optical_degree, skip_saturated_pairs
+        )
+        circuit_map: Dict[Tuple[int, int], int] = {}
+        for a in range(n):
+            for b in range(a + 1, n):
+                if circuits[a, b] > 0:
+                    circuit_map[(servers[a], servers[b])] = int(circuits[a, b])
+        completion = _completion_time_estimate(
+            demand_upper, circuits, link_bandwidth_gbps
+        )
+    else:
+        circuits, iterations = _greedy_heap(
+            demand_upper, optical_degree, skip_saturated_pairs
+        )
+        rows, cols = np.nonzero(np.triu(circuits, k=1))
+        circuit_map = {
+            (servers[a], servers[b]): int(circuits[a, b])
+            for a, b in zip(rows.tolist(), cols.tolist())
+        }
+        completion = _completion_time_estimate_vectorized(
+            demand_upper, circuits, link_bandwidth_gbps
+        )
 
     nic_mapping = _nic_mapping(circuit_map, servers, optical_degree, cluster)
-    completion = _completion_time_estimate(
-        demand_upper, circuits, link_bandwidth_gbps
-    )
     return CircuitAllocation(
         servers=tuple(servers),
         circuits=circuit_map,
@@ -186,6 +323,24 @@ def _completion_time_estimate(
     return worst
 
 
+def _completion_time_estimate_vectorized(
+    demand_upper: np.ndarray, circuits: np.ndarray, link_bandwidth_gbps: float
+) -> float:
+    """Numpy-reduction twin of :func:`_completion_time_estimate`.
+
+    Elementwise ``demand / (circuits * bandwidth)`` performs the same IEEE
+    operations as the scalar loop, so the maxima are bit-identical.
+    """
+    bandwidth = link_bandwidth_gbps * 1e9 / 8.0
+    mask = demand_upper > 0.0
+    if not mask.any():
+        return 0.0
+    allocated = circuits[mask]
+    if np.any(allocated == 0):
+        return float("inf")
+    return float(np.max(demand_upper[mask] / (allocated * bandwidth)))
+
+
 def _nic_mapping(
     circuit_map: Dict[Tuple[int, int], int],
     servers: Sequence[int],
@@ -197,22 +352,28 @@ def _nic_mapping(
     NIC indices are handed out per server in the order that alternates NUMA
     nodes, so when two or more circuits connect the same server pair their
     endpoints fall on different NUMA domains (the ``permuteLinks`` step).
+    A degree-0 slice owns no NICs on any server, so it yields an empty
+    mapping regardless of the requested circuits.
     """
     if cluster is not None:
         ocs_nic_indices: Dict[int, List[int]] = {}
         for server in servers:
             nics = [n.index for n in cluster.server.nics_for_server(server)
                     if n.fabric is NICFabric.OCS]
-            ocs_nic_indices[server] = nics[:optical_degree] if optical_degree else nics
+            ocs_nic_indices[server] = nics[:optical_degree]
     else:
         ocs_nic_indices = {server: list(range(optical_degree)) for server in servers}
 
     next_slot = {server: 0 for server in servers}
     mapping: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
     for (a, b), count in sorted(circuit_map.items()):
+        nics_a = ocs_nic_indices[a]
+        nics_b = ocs_nic_indices[b]
+        if not nics_a or not nics_b:
+            continue  # no OCS NICs on one side: the circuit has no endpoints
         for _ in range(count):
-            idx_a = ocs_nic_indices[a][next_slot[a] % max(1, len(ocs_nic_indices[a]))]
-            idx_b = ocs_nic_indices[b][next_slot[b] % max(1, len(ocs_nic_indices[b]))]
+            idx_a = nics_a[next_slot[a] % len(nics_a)]
+            idx_b = nics_b[next_slot[b] % len(nics_b)]
             mapping.append(((a, idx_a), (b, idx_b)))
             next_slot[a] += 1
             next_slot[b] += 1
@@ -226,28 +387,31 @@ def uniform_allocation(
 
     Spreads each server's optical NICs evenly over the other servers of the
     region, which is what a static expander-style OCS wiring would provide.
+    The round-robin offsets are cycled until a full cycle makes no progress:
+    the seed made a single pass over the offsets (breaking on the first
+    zero-progress pass), which stranded free NICs — always when
+    ``optical_degree > n - 1`` (pairs must receive multiple circuits), and
+    also for many smaller degrees where one saturated pass hid progress
+    available at later offsets.
     """
     servers = list(servers)
     n = len(servers)
     circuit_map: Dict[Tuple[int, int], int] = {}
     if n > 1 and optical_degree > 0:
         available = {idx: optical_degree for idx in range(n)}
-        offset = 1
         while True:
             progress = False
-            for i in range(n):
-                j = (i + offset) % n
-                a, b = min(i, j), max(i, j)
-                if a == b:
-                    continue
-                if available[a] > 0 and available[b] > 0:
-                    key = (servers[a], servers[b])
-                    circuit_map[key] = circuit_map.get(key, 0) + 1
-                    available[a] -= 1
-                    available[b] -= 1
-                    progress = True
-            offset += 1
-            if not progress or offset >= n:
+            for offset in range(1, n):
+                for i in range(n):
+                    j = (i + offset) % n
+                    a, b = min(i, j), max(i, j)
+                    if available[a] > 0 and available[b] > 0:
+                        key = (servers[a], servers[b])
+                        circuit_map[key] = circuit_map.get(key, 0) + 1
+                        available[a] -= 1
+                        available[b] -= 1
+                        progress = True
+            if not progress:
                 break
     nic_mapping = _nic_mapping(circuit_map, servers, optical_degree, None)
     return CircuitAllocation(

@@ -82,6 +82,11 @@ class RuntimeOptions:
             default (``"auto"`` — the compiled kernel when available).  All
             are exact max–min solvers, so results are solver-independent —
             the knob exists for differential testing and benchmarking.
+        reconfig_engine: Algorithm 1 reconfiguration engine (``"auto"``,
+            ``"vectorized"`` or ``"scalar"``); ``None`` uses the process-wide
+            default (``"auto"`` — the heap-driven engine).  Both engines
+            produce identical allocations, so results are engine-independent —
+            the knob exists for differential testing and benchmarking.
     """
 
     first_a2a_policy: str = "block"
@@ -94,8 +99,10 @@ class RuntimeOptions:
     ocs_collective_efficiency: float = 0.8
     seed: int = 0
     fluid_solver: Optional[str] = None
+    reconfig_engine: Optional[str] = None
 
     def __post_init__(self) -> None:
+        from repro.core.reconfigure import resolve_engine
         from repro.sim.flows import SOLVERS
 
         if self.fluid_solver is not None and self.fluid_solver not in SOLVERS:
@@ -103,6 +110,8 @@ class RuntimeOptions:
                 f"fluid_solver must be None or one of {SOLVERS}, "
                 f"got {self.fluid_solver!r}"
             )
+        if self.reconfig_engine is not None:
+            resolve_engine(self.reconfig_engine)  # validates the name
         if self.first_a2a_policy not in FIRST_A2A_POLICIES:
             raise ValueError(
                 f"first_a2a_policy must be one of {FIRST_A2A_POLICIES}, "
@@ -253,6 +262,7 @@ class TrainingSimulator:
                 self.cluster,
                 optical_degree=self._effective_optical_degree(effects),
                 reconfiguration_delay_s=options.reconfiguration_delay_s,
+                reconfig_engine=options.reconfig_engine,
             )
             # Start from a demand-oblivious wiring, like a freshly-cabled OCS.
             region.apply_circuits(controller.plan_uniform(self.region_servers).circuits)

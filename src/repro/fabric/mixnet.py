@@ -46,17 +46,21 @@ class MixNetRegionNetwork(RegionNetwork):
 
         Existing optical links are torn down and replaced.  EP paths are
         recomputed: pairs with at least one circuit get a direct optical path,
-        everything else uses the EPS fallback path.
+        everything else uses the EPS fallback path.  An unchanged mapping is a
+        no-op: links and EP paths are already consistent, so nothing is
+        rebuilt (and the device charges nothing).
         """
+        changes_before = self.ocs.reconfiguration_count
         delay = self.ocs.reconfigure(circuits)
+        if self.ocs.reconfiguration_count == changes_before:
+            # The device saw an identical mapping: links and paths are
+            # already consistent.  (The delay alone cannot detect this — an
+            # instantaneous device also returns 0.0 for real changes.)
+            return delay
         # Remove previous optical links.
         for key in [link_id for link_id in self.links if link_id.startswith("ocs:")]:
             del self.links[key]
-        self._circuits = {
-            ((a, b) if a <= b else (b, a)): count
-            for (a, b), count in circuits.items()
-            if count > 0
-        }
+        self._circuits = self.ocs.circuits
         for (a, b), count in self._circuits.items():
             capacity = count * self.nic_bandwidth_gbps
             self.add_link(f"ocs:s{a}->s{b}", capacity, latency_s=5e-7)

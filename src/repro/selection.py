@@ -1,0 +1,70 @@
+"""Process-wide implementation selection shared by the solver-style knobs.
+
+The fluid rate solver (:mod:`repro.sim.flows`) and the Algorithm 1
+reconfiguration engine (:mod:`repro.core.reconfigure`) expose the same
+pattern: a tuple of implementation names with an ``"auto"`` alias, a
+process-wide override, an environment-variable default, and a resolver that
+maps the requested name to a concrete implementation.  This module owns that
+machinery once so the two knobs (and any future one) cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence
+
+
+class ImplementationSelector:
+    """Selection state for one family of interchangeable implementations.
+
+    Args:
+        kind: Noun used in error messages (e.g. ``"solver"``, ``"engine"``).
+        names: Accepted names, including the ``"auto"`` alias.
+        env_var: Environment variable consulted when no override is set.
+        resolver: Maps a validated requested name to the concrete
+            implementation name (resolves ``"auto"`` and any aliases).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        names: Sequence[str],
+        env_var: str,
+        resolver: Callable[[str], str],
+    ) -> None:
+        self.kind = kind
+        self.names = tuple(names)
+        self.env_var = env_var
+        self._resolver = resolver
+        self._override: Optional[str] = None
+
+    def default(self) -> str:
+        """The name used when none is given (override, then env, then auto)."""
+        if self._override is not None:
+            return self._override
+        env = os.environ.get(self.env_var, "").strip().lower()
+        if not env:
+            return "auto"
+        if env not in self.names:
+            raise ValueError(
+                f"{self.env_var} must be one of {self.names}, got {env!r}"
+            )
+        return env
+
+    def set_default(self, name: Optional[str]) -> None:
+        """Override the process-wide default (``None`` resets to the env)."""
+        if name is not None and name not in self.names:
+            raise ValueError(
+                f"{self.kind} must be one of {self.names}, got {name!r}"
+            )
+        self._override = name
+
+    def resolve(self, name: Optional[str]) -> str:
+        """Resolve a requested name to a concrete implementation."""
+        if name is None:
+            name = self.default()
+        if name not in self.names:
+            raise ValueError(
+                f"{self.kind} must be one of {self.names}, got {name!r}"
+            )
+        return self._resolver(name)

@@ -38,13 +38,13 @@ mutations already trigger, e.g. the executor after reconfiguration callbacks).
 from __future__ import annotations
 
 import heapq
-import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.fabric.base import GBPS_TO_BYTES_PER_S, RegionNetwork
+from repro.selection import ImplementationSelector
 
 #: Accepted solver names (``"auto"`` resolves at construction time).
 SOLVERS = ("auto", "native", "vectorized", "scalar")
@@ -53,41 +53,36 @@ SOLVERS = ("auto", "native", "vectorized", "scalar")
 #: to dense-matrix water-filling rounds.
 DENSE_ROUND_THRESHOLD = 512
 
-_default_solver: Optional[str] = None
 
-
-def default_solver() -> str:
-    """The solver new :class:`FluidNetwork` instances use when none is given."""
-    if _default_solver is not None:
-        return _default_solver
-    env = os.environ.get("REPRO_FLUID_SOLVER", "").strip().lower()
-    if not env:
-        return "auto"
-    if env not in SOLVERS:
-        raise ValueError(
-            f"REPRO_FLUID_SOLVER must be one of {SOLVERS}, got {env!r}"
-        )
-    return env
-
-
-def set_default_solver(solver: Optional[str]) -> None:
-    """Override the process-wide default solver (``None`` resets to the env)."""
-    global _default_solver
-    if solver is not None and solver not in SOLVERS:
-        raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
-    _default_solver = solver
-
-
-def resolve_solver(solver: Optional[str]) -> str:
-    """Resolve a requested solver name to a concrete implementation."""
-    solver = solver or default_solver()
-    if solver not in SOLVERS:
-        raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
+def _resolve_solver_impl(solver: str) -> str:
     if solver in ("auto", "native"):
         from repro.sim._native import native_available
 
         return "native" if native_available() else "vectorized"
     return solver
+
+
+_selector = ImplementationSelector(
+    kind="solver",
+    names=SOLVERS,
+    env_var="REPRO_FLUID_SOLVER",
+    resolver=_resolve_solver_impl,
+)
+
+
+def default_solver() -> str:
+    """The solver new :class:`FluidNetwork` instances use when none is given."""
+    return _selector.default()
+
+
+def set_default_solver(solver: Optional[str]) -> None:
+    """Override the process-wide default solver (``None`` resets to the env)."""
+    _selector.set_default(solver)
+
+
+def resolve_solver(solver: Optional[str]) -> str:
+    """Resolve a requested solver name to a concrete implementation."""
+    return _selector.resolve(solver)
 
 
 @dataclass

@@ -109,11 +109,17 @@ def run_config(config: SweepConfig, solver: Optional[str] = None) -> SweepResult
         ocs_nics=config.ocs_nics,
     )
     fabric = build_fabric(config.fabric, cluster)
+    # "auto" defers to the process-wide default (REPRO_RECONFIG_ENGINE /
+    # set_default_engine), mirroring how fluid_solver=None defers — so e.g.
+    # the CI scalar-oracle leg reaches the sweep path too.  An explicit
+    # engine in the config pins it.
+    engine = None if config.reconfig_engine == "auto" else config.reconfig_engine
     options = RuntimeOptions(
         first_a2a_policy=config.first_a2a_policy,
         reconfiguration_delay_s=config.reconfiguration_delay_s,
         seed=config.seed,
         fluid_solver=solver,
+        reconfig_engine=engine,
     )
     result = run_case(
         model,

@@ -14,13 +14,14 @@ import itertools
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.core.reconfigure import resolve_engine
 from repro.core.runtime import FIRST_A2A_POLICIES
 from repro.moe.parallelism import minimal_world_size
 from repro.sweep.registry import FABRIC_BUILDERS, parse_failure, resolve_model
 
 #: Bumped whenever the meaning of a config field (and therefore the validity
-#: of cached results) changes.
-CONFIG_SCHEMA_VERSION = 1
+#: of cached results) changes.  v2: added the ``reconfig_engine`` axis.
+CONFIG_SCHEMA_VERSION = 2
 
 #: GPUs per server of the §7.1 simulation cluster (``simulation_cluster``).
 _GPUS_PER_SERVER = 8
@@ -44,6 +45,7 @@ class SweepConfig:
     num_servers: int = 16
     ocs_nics: int = 6
     seed: int = 0
+    reconfig_engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.fabric not in FABRIC_BUILDERS:
@@ -61,6 +63,7 @@ class SweepConfig:
             raise ValueError("num_servers must be positive")
         if self.nic_bandwidth_gbps <= 0:
             raise ValueError("nic_bandwidth_gbps must be positive")
+        resolve_engine(self.reconfig_engine)  # raises ValueError on unknown engines
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -96,6 +99,10 @@ class SweepSpec:
             floor is raised to the model's minimal TP×PP×EP world size.
         ocs_nics: Optical NICs per server.
         seeds: Synthetic-traffic seeds (one config per seed).
+        reconfig_engines: Algorithm 1 engines to sweep
+            (:data:`repro.core.reconfigure.ENGINES`); engines produce
+            identical allocations, so this axis exists for differential
+            testing and benchmarking, not for result exploration.
         auto_fit_servers: Grow ``num_servers`` per model so its default
             parallelism plan fits the cluster.
     """
@@ -109,6 +116,7 @@ class SweepSpec:
     num_servers: int = 16
     ocs_nics: int = 6
     seeds: Sequence[int] = (0,)
+    reconfig_engines: Sequence[str] = ("auto",)
     auto_fit_servers: bool = True
 
     def servers_for(self, model_name: str) -> int:
@@ -130,8 +138,9 @@ class SweepSpec:
                 num_servers=self.servers_for(model),
                 ocs_nics=self.ocs_nics,
                 seed=seed,
+                reconfig_engine=engine,
             )
-            for model, fabric, policy, delay, failure, bandwidth, seed in itertools.product(
+            for model, fabric, policy, delay, failure, bandwidth, seed, engine in itertools.product(
                 self.models,
                 self.fabrics,
                 self.first_a2a_policies,
@@ -139,6 +148,7 @@ class SweepSpec:
                 self.failures,
                 self.nic_bandwidths_gbps,
                 self.seeds,
+                self.reconfig_engines,
             )
         ]
         hashes = {config.config_hash() for config in configs}

@@ -37,6 +37,26 @@ class TestRankToServerDemand:
         with pytest.raises(ValueError):
             rank_to_server_demand(np.zeros((4, 4)), group, cluster)
 
+    def test_scatter_aggregation_matches_loop_reference(self):
+        """The np.add.at scatter aggregation is bit-identical to the seed's
+        Python double loop (same row-major accumulation order)."""
+        cluster = simulation_cluster(16)
+        plan = ParallelismPlan(MIXTRAL_8x7B, cluster)
+        group = plan.ep_groups()[0]
+        rng = np.random.default_rng(5)
+        matrix = rng.uniform(0.0, 1e9, size=(len(group), len(group)))
+        demand, servers = rank_to_server_demand(matrix, group, cluster)
+
+        index = {server: i for i, server in enumerate(servers)}
+        reference = np.zeros((len(servers), len(servers)))
+        for i, src_rank in enumerate(group):
+            src = index[cluster.server_of_gpu(src_rank)]
+            for j, dst_rank in enumerate(group):
+                dst = index[cluster.server_of_gpu(dst_rank)]
+                if src != dst:
+                    reference[src, dst] += matrix[i, j]
+        assert np.array_equal(demand, reference)
+
 
 class TestSymmetrizeUpper:
     def test_tx_rx_folded_together(self):

@@ -5,6 +5,7 @@ import pytest
 
 from repro.cluster import simulation_cluster
 from repro.core.reconfigure import (
+    _nic_mapping,
     calculate_server_demand,
     find_bottleneck_link,
     reconfigure_ocs,
@@ -120,3 +121,43 @@ class TestUniformAllocation:
     def test_single_server_or_zero_degree(self):
         assert uniform_allocation(4, servers=[0]).total_circuits() == 0
         assert uniform_allocation(0, servers=[0, 1]).total_circuits() == 0
+
+    def test_high_degree_small_region_fully_utilized(self):
+        """Regression: offsets must cycle when optical_degree > n - 1.
+
+        The seed exited the round-robin loop once ``offset >= n``, stranding
+        free optical NICs (n=2, degree=4 allocated only 2 of 4 circuits).
+        """
+        allocation = uniform_allocation(4, servers=[0, 1])
+        assert allocation.total_circuits() == 4
+        assert allocation.circuits == {(0, 1): 4}
+        assert allocation.degree_of(0) == 4
+        assert allocation.degree_of(1) == 4
+
+    def test_total_nic_utilization_is_maximal(self):
+        """Every free NIC pair is consumed: total circuits == n*degree // 2."""
+        for n in (2, 3, 4, 5, 8):
+            for degree in (1, 3, 4, 6, 7, 9):
+                allocation = uniform_allocation(degree, servers=list(range(n)))
+                assert allocation.total_circuits() == (n * degree) // 2, (
+                    f"n={n} degree={degree} stranded NICs: "
+                    f"{allocation.total_circuits()} circuits"
+                )
+                for server in range(n):
+                    assert allocation.degree_of(server) <= degree
+
+
+class TestNicMappingDegreeZero:
+    def test_degree_zero_yields_empty_mapping_without_cluster(self):
+        """Regression: a degree-0 slice owns no NICs, so no endpoints exist
+        (the seed's ``nics[:degree] if degree else nics`` took *all* NICs)."""
+        assert _nic_mapping({(0, 1): 2}, [0, 1], 0, None) == []
+
+    def test_degree_zero_yields_empty_mapping_with_cluster(self):
+        cluster = simulation_cluster(4)
+        assert _nic_mapping({(0, 1): 1, (2, 3): 2}, [0, 1, 2, 3], 0, cluster) == []
+
+    def test_positive_degree_unaffected(self):
+        cluster = simulation_cluster(4)
+        mapping = _nic_mapping({(0, 1): 2}, [0, 1], 2, cluster)
+        assert len(mapping) == 2

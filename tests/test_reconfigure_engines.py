@@ -1,0 +1,174 @@
+"""Differential suite for the Algorithm 1 engines (DESIGN.md §5).
+
+The scalar oracle (the seed's pure-Python greedy, kept verbatim) and the
+heap-driven vectorized engine must produce *identical* allocations — same
+circuit map, NIC mapping, completion-time estimate and iteration count — on
+any demand matrix, including under the ``skip_saturated_pairs`` ablation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import simulation_cluster
+from repro.core.reconfigure import (
+    ENGINES,
+    default_engine,
+    reconfigure_ocs,
+    resolve_engine,
+    set_default_engine,
+)
+
+
+def assert_identical(scalar, vectorized):
+    assert vectorized.servers == scalar.servers
+    assert vectorized.circuits == scalar.circuits
+    assert vectorized.nic_mapping == scalar.nic_mapping
+    assert vectorized.iterations == scalar.iterations
+    if math.isnan(scalar.completion_time_estimate):
+        assert math.isnan(vectorized.completion_time_estimate)
+    else:
+        assert (
+            vectorized.completion_time_estimate == scalar.completion_time_estimate
+        )
+
+
+def random_demand(rng, n, density=1.0):
+    demand = rng.uniform(0.0, 1e9, size=(n, n))
+    if density < 1.0:
+        demand *= rng.uniform(size=(n, n)) < density
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+class TestEngineSelection:
+    def test_resolve_engine(self):
+        assert resolve_engine("auto") == "vectorized"
+        assert resolve_engine("vectorized") == "vectorized"
+        assert resolve_engine("scalar") == "scalar"
+        with pytest.raises(ValueError):
+            resolve_engine("fpga")
+        with pytest.raises(ValueError):
+            resolve_engine("")  # falsy is not "use the default"
+
+    def test_set_default_engine(self):
+        try:
+            set_default_engine("scalar")
+            assert default_engine() == "scalar"
+            assert resolve_engine(None) == "scalar"
+        finally:
+            set_default_engine(None)
+        with pytest.raises(ValueError):
+            set_default_engine("fpga")
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECONFIG_ENGINE", "scalar")
+        assert default_engine() == "scalar"
+        monkeypatch.setenv("REPRO_RECONFIG_ENGINE", "fpga")
+        with pytest.raises(ValueError):
+            default_engine()
+
+    def test_invalid_engine_argument(self):
+        with pytest.raises(ValueError):
+            reconfigure_ocs(np.zeros((2, 2)), 1, servers=[0, 1], engine="fpga")
+
+    def test_engines_tuple_stable(self):
+        assert ENGINES == ("auto", "vectorized", "scalar")
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("skip_saturated", [False, True])
+    def test_randomized_demand(self, skip_saturated):
+        rng = np.random.default_rng(7)
+        for trial in range(60):
+            n = int(rng.integers(2, 14))
+            degree = int(rng.integers(0, 9))
+            density = float(rng.uniform(0.2, 1.0))
+            demand = random_demand(rng, n, density)
+            servers = sorted(rng.choice(10_000, size=n, replace=False).tolist())
+            kwargs = dict(
+                optical_degree=degree,
+                servers=servers,
+                skip_saturated_pairs=skip_saturated,
+            )
+            scalar = reconfigure_ocs(demand, engine="scalar", **kwargs)
+            vectorized = reconfigure_ocs(demand, engine="vectorized", **kwargs)
+            assert_identical(scalar, vectorized)
+
+    def test_tie_heavy_demand(self):
+        """Exact ties (equal times AND equal demands) follow the oracle's
+        row-major selection in both engines."""
+        n = 8
+        demand = np.full((n, n), 5.0e8)
+        np.fill_diagonal(demand, 0.0)
+        for skip in (False, True):
+            scalar = reconfigure_ocs(
+                demand, 3, servers=list(range(n)), skip_saturated_pairs=skip,
+                engine="scalar",
+            )
+            vectorized = reconfigure_ocs(
+                demand, 3, servers=list(range(n)), skip_saturated_pairs=skip,
+                engine="vectorized",
+            )
+            assert_identical(scalar, vectorized)
+
+    def test_cluster_nic_mapping_identical(self):
+        cluster = simulation_cluster(8)
+        rng = np.random.default_rng(11)
+        demand = random_demand(rng, 8)
+        kwargs = dict(
+            optical_degree=6,
+            servers=list(range(8)),
+            cluster=cluster,
+            link_bandwidth_gbps=cluster.server.nic_bandwidth_gbps,
+        )
+        scalar = reconfigure_ocs(demand, engine="scalar", **kwargs)
+        vectorized = reconfigure_ocs(demand, engine="vectorized", **kwargs)
+        assert_identical(scalar, vectorized)
+        assert len(vectorized.nic_mapping) == vectorized.total_circuits()
+
+    def test_zero_demand_and_zero_degree(self):
+        for degree in (0, 4):
+            scalar = reconfigure_ocs(
+                np.zeros((5, 5)), degree, servers=list(range(5)), engine="scalar"
+            )
+            vectorized = reconfigure_ocs(
+                np.zeros((5, 5)), degree, servers=list(range(5)),
+                engine="vectorized",
+            )
+            assert_identical(scalar, vectorized)
+            assert vectorized.total_circuits() == 0
+
+    def test_medium_region_default_engine_matches_oracle(self):
+        """The shipped default (auto -> vectorized) agrees with the oracle at
+        a realistic region size."""
+        rng = np.random.default_rng(23)
+        demand = random_demand(rng, 32)
+        scalar = reconfigure_ocs(demand, 6, servers=list(range(32)), engine="scalar")
+        default = reconfigure_ocs(demand, 6, servers=list(range(32)))
+        assert_identical(scalar, default)
+
+
+class TestEndToEndEngineIndependence:
+    def test_simulated_iteration_identical_across_engines(self):
+        """A full MixNet training iteration is engine-independent."""
+        from repro.core.runtime import RuntimeOptions, TrainingSimulator
+        from repro.fabric import MixNetFabric
+        from repro.moe.models import MIXTRAL_8x7B
+
+        cluster = simulation_cluster(16, nic_bandwidth_gbps=400.0)
+        results = {}
+        for engine in ("scalar", "vectorized"):
+            simulator = TrainingSimulator(
+                MIXTRAL_8x7B,
+                cluster,
+                MixNetFabric(cluster),
+                options=RuntimeOptions(reconfig_engine=engine),
+            )
+            results[engine] = simulator.simulate_iteration()
+        assert (
+            results["vectorized"].iteration_time_s
+            == results["scalar"].iteration_time_s
+        )
+        assert results["vectorized"].comm_bytes == results["scalar"].comm_bytes
