@@ -57,29 +57,40 @@ def ep_all_to_all_flows(
     if transpose:
         matrix = matrix.T
 
-    pair_bytes: Dict[Tuple[int, int], float] = {}
-    intra_bytes: Dict[int, float] = {}
-    for i, src_rank in enumerate(group_ranks):
-        src_server = cluster.server_of_gpu(src_rank)
-        for j, dst_rank in enumerate(group_ranks):
-            size = float(matrix[i, j])
-            if size <= 0 or i == j:
-                continue
-            dst_server = cluster.server_of_gpu(dst_rank)
-            if src_server == dst_server:
-                intra_bytes[src_server] = intra_bytes.get(src_server, 0.0) + size
-            else:
-                key = (src_server, dst_server)
-                pair_bytes[key] = pair_bytes.get(key, 0.0) + size
+    # Vectorized server-level aggregation.  np.nonzero enumerates rank pairs
+    # in row-major order and ufunc.at adds sequentially in that order — the
+    # same addition sequence as the reference dict accumulation, so the
+    # aggregated sizes are bit-identical to it.
+    rank_servers = np.fromiter(
+        (cluster.server_of_gpu(rank) for rank in group_ranks), np.int64, ep
+    )
+    positive = matrix > 0
+    np.fill_diagonal(positive, False)
+    rows, cols = np.nonzero(positive)
+    servers, compact = np.unique(rank_servers, return_inverse=True)
+    num_servers = len(servers)
+    accumulated = np.zeros((num_servers, num_servers))
+    np.add.at(accumulated, (compact[rows], compact[cols]), matrix[rows, cols])
 
+    # Inter-server pairs in sorted (src, dst) order, then intra flows in
+    # sorted server order — np.unique sorts, so index order is value order.
     flows: List[FlowSpec] = []
-    for (src, dst), size in sorted(pair_bytes.items()):
-        flows.append(FlowSpec(src_server=src, dst_server=dst, size_bytes=size, route=route))
-    for server, size in sorted(intra_bytes.items()):
-        flows.append(
-            FlowSpec(src_server=server, dst_server=server, size_bytes=size,
-                     route=RouteKind.INTRA)
-        )
+    server_list = servers.tolist()
+    sizes = accumulated.tolist()
+    for a, src in enumerate(server_list):
+        row_sizes = sizes[a]
+        for b, dst in enumerate(server_list):
+            if a != b and row_sizes[b] > 0.0:
+                flows.append(
+                    FlowSpec(src_server=src, dst_server=dst,
+                             size_bytes=row_sizes[b], route=route)
+                )
+    for a, server in enumerate(server_list):
+        if sizes[a][a] > 0.0:
+            flows.append(
+                FlowSpec(src_server=server, dst_server=server,
+                         size_bytes=sizes[a][a], route=RouteKind.INTRA)
+            )
     return flows
 
 

@@ -50,6 +50,23 @@ from repro.sim.executor import Executor
 #: Policies for handling the forward pass's first all-to-all (§5.1, §B.2).
 FIRST_A2A_POLICIES = ("block", "reuse", "copilot")
 
+#: Memoised synthetic demand records, keyed by (model, seed, iteration).
+_RECORD_CACHE: Dict[tuple, IterationRecord] = {}
+
+#: Memoised base (pre-adjustment) EP all-to-all expansions.  The expansion
+#: is determined by (model, seed, micro-batch scale, layer, transpose,
+#: cluster shape); a folded sweep rebuilds it for every fabric × policy ×
+#: bandwidth variant otherwise.  Entries are treated as immutable.
+_BASE_FLOW_CACHE: Dict[tuple, List] = {}
+
+#: Memoised adjusted (efficiency-inflated) EP flow lists.  Beyond the base
+#: key, the adjustment depends only on the concurrency factor, the two
+#: collective efficiencies and *which server pairs hold a circuit* — so a
+#: static fabric shares one entry across bandwidths and policies, and two
+#: MixNet configs whose allocators picked the same circuits share too.
+#: Entries are treated as immutable.
+_ADJUSTED_FLOW_CACHE: Dict[tuple, List] = {}
+
 
 @dataclass
 class RuntimeOptions:
@@ -148,6 +165,17 @@ class IterationResult:
         return self.tokens_per_iteration / self.iteration_time_s
 
 
+@dataclass
+class _PreparedIteration:
+    """Intermediate state between building an iteration and executing it."""
+
+    region: RegionNetwork
+    controller: Optional[RegionalTopologyController]
+    graph: TaskGraph
+    compute_total: float
+    mbs: int
+
+
 class TrainingSimulator:
     """Simulates distributed MoE training iterations on a fabric.
 
@@ -178,14 +206,26 @@ class TrainingSimulator:
 
     # ----------------------------------------------------------------- inputs
     def default_record(self, iteration: int = 0) -> IterationRecord:
-        """Synthesize a demand record when no trace is supplied."""
-        trace = generate_trace(
-            self.model,
-            num_iterations=iteration + 1,
-            sample_every=max(1, iteration + 1),
-            seed=self.options.seed,
-        )
-        return trace[-1]
+        """Synthesize a demand record when no trace is supplied.
+
+        Records are deterministic in (model, seed, iteration) and read-only
+        downstream, so they are memoised process-wide — a folded sweep asks
+        for the same record once per (fabric, policy, bandwidth) variant.
+        """
+        key = (self.model, self.options.seed, iteration)
+        record = _RECORD_CACHE.get(key)
+        if record is None:
+            trace = generate_trace(
+                self.model,
+                num_iterations=iteration + 1,
+                sample_every=max(1, iteration + 1),
+                seed=self.options.seed,
+            )
+            record = trace[-1]
+            if len(_RECORD_CACHE) >= 64:
+                _RECORD_CACHE.clear()
+            _RECORD_CACHE[key] = record
+        return record
 
     def _stage_layers(self) -> List[int]:
         """Layer indices hosted by the representative pipeline stage."""
@@ -226,12 +266,12 @@ class TrainingSimulator:
         return total / count
 
     # -------------------------------------------------------------- iteration
-    def simulate_iteration(
+    def _prepare_iteration(
         self,
-        record: Optional[IterationRecord] = None,
-        failure: Optional[FailureScenario] = None,
-    ) -> IterationResult:
-        """Simulate one training iteration and return its timing."""
+        record: Optional[IterationRecord],
+        failure: Optional[FailureScenario],
+    ) -> "_PreparedIteration":
+        """Everything of one iteration up to (but excluding) DAG execution."""
         record = record or self.default_record()
         options = self.options
         mbs = options.micro_batch_size or self.model.micro_batch_size
@@ -270,18 +310,30 @@ class TrainingSimulator:
         graph, compute_total = self._build_stage_graph(
             record, profile, tp_time, effects, controller, mbs
         )
-        execution = Executor(graph, region, solver=options.fluid_solver).run()
-        stage_time = execution.makespan
+        return _PreparedIteration(
+            region=region,
+            controller=controller,
+            graph=graph,
+            compute_total=compute_total,
+            mbs=mbs,
+        )
 
-        pp_transfer = self._pp_transfer_time(mbs)
+    def _compose_result(
+        self, prepared: "_PreparedIteration", execution
+    ) -> IterationResult:
+        """Fold the executed stage DAG into a full iteration time."""
+        options = self.options
+        stage_time = execution.makespan
+        pp_transfer = self._pp_transfer_time(prepared.mbs)
         micro_batches = options.num_micro_batches or self.model.pp_degree
         pipeline_factor = micro_batches + self.model.pp_degree - 1
         dp_time = self._dp_allreduce_time() if options.include_dp_allreduce else 0.0
 
         iteration_time = pipeline_factor * (stage_time + pp_transfer) + dp_time
         tokens = (
-            self.model.seq_len * mbs * micro_batches * self.plan.dp
+            self.model.seq_len * prepared.mbs * micro_batches * self.plan.dp
         )
+        controller = prepared.controller
         reconfig_blocking = controller.total_blocking_s if controller else 0.0
         return IterationResult(
             fabric=self.fabric.name,
@@ -292,10 +344,41 @@ class TrainingSimulator:
             pp_transfer_s=pp_transfer,
             reconfig_blocking_s=reconfig_blocking,
             comm_bytes=execution.comm_bytes,
-            compute_time_s=compute_total,
+            compute_time_s=prepared.compute_total,
             num_micro_batches=micro_batches,
             tokens_per_iteration=tokens,
         )
+
+    def simulate_iteration(
+        self,
+        record: Optional[IterationRecord] = None,
+        failure: Optional[FailureScenario] = None,
+    ) -> IterationResult:
+        """Simulate one training iteration and return its timing."""
+        prepared = self._prepare_iteration(record, failure)
+        execution = Executor(
+            prepared.graph, prepared.region, solver=self.options.fluid_solver
+        ).run()
+        return self._compose_result(prepared, execution)
+
+    def iter_simulation(
+        self,
+        record: Optional[IterationRecord] = None,
+        failure: Optional[FailureScenario] = None,
+    ):
+        """Generator form of :meth:`simulate_iteration` for folded sweeps.
+
+        Yields :class:`~repro.sim.flows.FlowAdvanceRequest` objects (see
+        :meth:`repro.sim.executor.Executor.iter_run`) and returns the
+        :class:`IterationResult` as the generator's value, letting a driver
+        advance many simulations through one batched solve/advance loop.
+        """
+        prepared = self._prepare_iteration(record, failure)
+        executor = Executor(
+            prepared.graph, prepared.region, solver=self.options.fluid_solver
+        )
+        execution = yield from executor.iter_run()
+        return self._compose_result(prepared, execution)
 
     def _effective_optical_degree(self, effects: FailureEffects) -> int:
         """Optical degree available to Algorithm 1 after failures.
@@ -362,7 +445,23 @@ class TrainingSimulator:
 
             return _install
 
+        # The dispatch/combine pair of a layer (and its backward mirror) share
+        # the same base server-level expansion; only the per-call efficiency
+        # adjustment differs.  Calls with the same allocation (e.g. a layer's
+        # combine and its backward grad-combine) share the adjusted list too.
+        group_ranks_key = tuple(self.group_ranks)
+        adjusted_flow_cache: Dict[tuple, List] = {}
+        # Share base expansions across the whole process only for the
+        # memoised default record — a caller-supplied record may carry
+        # arbitrary matrices under the same (model, seed).
+        shareable = record is _RECORD_CACHE.get((model, options.seed, 0))
+        base_cache: Dict[tuple, List] = _BASE_FLOW_CACHE if shareable else {}
+        adjusted_shared: Optional[Dict[tuple, List]] = (
+            _ADJUSTED_FLOW_CACHE if shareable else None
+        )
+
         def ep_flows(
+            layer: int,
             matrix: np.ndarray,
             transpose: bool,
             allocation: Optional[CircuitAllocation],
@@ -379,27 +478,65 @@ class TrainingSimulator:
             """
             from repro.sim.dag import FlowSpec
 
-            base = ep_all_to_all_flows(
-                matrix, self.group_ranks, self.cluster, route=route, transpose=transpose
+            effective_layer = min(layer, record.num_layers - 1)
+            adjusted_key = (
+                effective_layer, transpose,
+                id(allocation) if allocation is not None else None,
             )
+            cached = adjusted_flow_cache.get(adjusted_key)
+            if cached is not None:
+                return cached
+            base_key = (
+                model, options.seed, mbs, group_ranks_key,
+                self.cluster.gpus_per_server, effective_layer, transpose,
+            )
+            base = base_cache.get(base_key)
+            if base is None:
+                base = ep_all_to_all_flows(
+                    matrix, self.group_ranks, self.cluster, route=route,
+                    transpose=transpose,
+                )
+                if base_cache is _BASE_FLOW_CACHE and len(base_cache) >= 1024:
+                    base_cache.clear()
+                base_cache[base_key] = base
             concurrency = float(model.tp_degree)
+            circuits = allocation.circuits if allocation is not None else None
+            ocs_efficiency = options.ocs_collective_efficiency
+            eps_efficiency = options.eps_collective_efficiency
+            # Process-wide reuse: the adjustment is a pure function of the
+            # base expansion, the efficiencies and the set of circuit-holding
+            # pairs — a key that collapses bandwidth variants (and allocation
+            # objects that picked identical circuits) onto one entry.
+            if adjusted_shared is not None:
+                circuit_pairs = (
+                    None if circuits is None
+                    else frozenset(p for p, n in circuits.items() if n > 0)
+                )
+                shared_key = base_key + (
+                    concurrency, ocs_efficiency, eps_efficiency, circuit_pairs,
+                )
+                adjusted = adjusted_shared.get(shared_key)
+                if adjusted is not None:
+                    adjusted_flow_cache[adjusted_key] = adjusted
+                    return adjusted
+            intra = RouteKind.INTRA
             adjusted = []
             for spec in base:
+                src = spec.src_server
+                dst = spec.dst_server
                 size = spec.size_bytes * concurrency
-                if spec.route is not RouteKind.INTRA:
-                    has_circuit = (
-                        allocation is not None
-                        and allocation.circuits_of(spec.src_server, spec.dst_server) > 0
+                if spec.route is not intra:
+                    has_circuit = circuits is not None and (
+                        circuits.get((src, dst) if src <= dst else (dst, src), 0)
+                        > 0
                     )
-                    efficiency = (
-                        options.ocs_collective_efficiency
-                        if has_circuit
-                        else options.eps_collective_efficiency
-                    )
-                    size /= efficiency
-                adjusted.append(
-                    FlowSpec(spec.src_server, spec.dst_server, size, spec.route)
-                )
+                    size /= ocs_efficiency if has_circuit else eps_efficiency
+                adjusted.append(FlowSpec(src, dst, size, spec.route))
+            if adjusted_shared is not None:
+                if len(adjusted_shared) >= 1024:
+                    adjusted_shared.clear()
+                adjusted_shared[shared_key] = adjusted
+            adjusted_flow_cache[adjusted_key] = adjusted
             return adjusted
 
         prev: Optional[str] = None
@@ -444,7 +581,7 @@ class TrainingSimulator:
                     a2a1_allocation = previous_exact
             a2a1 = graph.add_comm(
                 f"L{layer}.fwd.a2a_dispatch",
-                ep_flows(matrix, transpose=False, allocation=a2a1_allocation),
+                ep_flows(layer, matrix, transpose=False, allocation=a2a1_allocation),
                 deps=a2a1_deps,
             )
             experts = graph.add_compute(
@@ -464,7 +601,7 @@ class TrainingSimulator:
                 a2a2_deps.append(recalibrate.task_id)
             a2a2 = graph.add_comm(
                 f"L{layer}.fwd.a2a_combine",
-                ep_flows(matrix, transpose=True, allocation=exact_allocation),
+                ep_flows(layer, matrix, transpose=True, allocation=exact_allocation),
                 deps=a2a2_deps,
             )
             norm = graph.add_compute(
@@ -496,7 +633,7 @@ class TrainingSimulator:
                 a2a1_deps.append(reconfig_b.task_id)
             a2a_b1 = graph.add_comm(
                 f"L{layer}.bwd.a2a_grad_combine",
-                ep_flows(matrix, transpose=True, allocation=exact_allocation),
+                ep_flows(layer, matrix, transpose=True, allocation=exact_allocation),
                 deps=a2a1_deps,
             )
             experts_b = graph.add_compute(
@@ -507,7 +644,7 @@ class TrainingSimulator:
             compute_total += experts_b.duration_s
             a2a_b2 = graph.add_comm(
                 f"L{layer}.bwd.a2a_grad_dispatch",
-                ep_flows(matrix, transpose=False, allocation=exact_allocation),
+                ep_flows(layer, matrix, transpose=False, allocation=exact_allocation),
                 deps=[experts_b.task_id],
             )
             attn_b = graph.add_compute(

@@ -35,6 +35,11 @@ def _softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     return exp / exp.sum(axis=axis, keepdims=True)
 
 
+#: Memoised initial draws of :class:`GateSimulator`: key ->
+#: (layer_logits, transitions, generator state after the draws).
+_INIT_STATE_CACHE: dict = {}
+
+
 @dataclass
 class GateDynamicsConfig:
     """Tunable parameters of the synthetic gate's stochastic process.
@@ -86,22 +91,47 @@ class GateSimulator:
         num_experts = model.num_experts
         dyn = self.dynamics
 
-        # Base affinity logits for layer 0 plus per-layer offsets: every block
-        # has its own (non-uniform) preferred experts, reproducing Figure 18.
-        self._layer_logits = self._rng.normal(
-            0.0, dyn.initial_logit_std, size=(num_layers, num_experts)
+        # The initial draws depend only on the shapes, the two concentration
+        # parameters, and the seed; sweeps construct many simulators with the
+        # same ones, so memoise the arrays together with the generator state
+        # reached after drawing them.  The arrays are shared, never mutated in
+        # place (updates always rebind), and restoring the generator state
+        # makes every later draw identical to a cold construction.
+        memo_key = (
+            num_layers, num_experts,
+            dyn.initial_logit_std, dyn.transition_concentration, seed,
         )
-        # Column-stochastic inter-layer transition matrices P[l]: given a token
-        # went to expert i at layer l, P[l][j, i] is the probability it goes to
-        # expert j at layer l+1.  MixNet-Copilot estimates these (§B.1).
-        self._transitions = np.stack(
-            [
-                self._rng.dirichlet(
-                    np.full(num_experts, dyn.transition_concentration), size=num_experts
-                ).T
-                for _ in range(max(1, num_layers - 1))
-            ]
-        )
+        memo = _INIT_STATE_CACHE.get(memo_key)
+        if memo is None:
+            # Base affinity logits for layer 0 plus per-layer offsets: every
+            # block has its own (non-uniform) preferred experts, reproducing
+            # Figure 18.
+            self._layer_logits = self._rng.normal(
+                0.0, dyn.initial_logit_std, size=(num_layers, num_experts)
+            )
+            # Column-stochastic inter-layer transition matrices P[l]: given a
+            # token went to expert i at layer l, P[l][j, i] is the probability
+            # it goes to expert j at layer l+1.  MixNet-Copilot estimates
+            # these (§B.1).
+            self._transitions = np.stack(
+                [
+                    self._rng.dirichlet(
+                        np.full(num_experts, dyn.transition_concentration),
+                        size=num_experts,
+                    ).T
+                    for _ in range(max(1, num_layers - 1))
+                ]
+            )
+            if len(_INIT_STATE_CACHE) >= 64:
+                _INIT_STATE_CACHE.clear()
+            _INIT_STATE_CACHE[memo_key] = (
+                self._layer_logits,
+                self._transitions,
+                self._rng.bit_generator.state,
+            )
+        else:
+            self._layer_logits, self._transitions, rng_state = memo
+            self._rng.bit_generator.state = rng_state
         self._iteration = 0
 
     # ----------------------------------------------------------------- access

@@ -31,49 +31,62 @@ C_SOURCE = r"""
 #include <stdlib.h>
 #include <string.h>
 
-/* Exact max-min progressive water-filling.
+/* Status codes shared by every entry point. */
+#define WF_OK          0
+#define WF_OOM         1
+
+/* Stop reasons reported per block by waterfill_batch. */
+#define WF_STOP_BUDGET 0  /* next flow completion is at/after the budget */
+#define WF_STOP_GROUP  1  /* a flow group drained (a comm task completed) */
+#define WF_STOP_STALL  2  /* no active flow can make progress */
+#define WF_STOP_STEPS  3  /* step budget exhausted (executor event guard) */
+
+/* Exact max-min progressive water-filling over one block, honouring an
+ * optional per-flow active mask (NULL means all active).
  *
  * Inputs are a CSR encoding of the flow->link incidence: flow f traverses
  * rows flow_rows[flow_ptr[f] .. flow_ptr[f+1]-1] (duplicates allowed and
- * counted, like the Python reference).  caps[r] is row r's capacity in
- * bytes/s.  rates[f] receives flow f's max-min fair rate.
+ * counted, like the Python reference); row indices are relative to row0.
+ * caps[r] is row r's capacity in bytes/s.  rates[f] receives flow f's
+ * max-min fair rate.  All arrays are indexed with *global* flow ids in
+ * [f0, f0+num_flows) so batch callers can pass shared buffers.
  *
  * Each round scans for the carrying row with the smallest residual fair
  * share (first row wins ties, matching the reference's registration-order
  * scan), freezes every unfrozen flow crossing it at that share, and retires
- * the frozen flows' contributions.
+ * the frozen flows' contributions.  Scratch buffers are caller-provided so
+ * the batch loop allocates exactly once per call.
  */
-void waterfill(int num_flows, int num_rows,
-               const int *flow_ptr, const int *flow_rows,
-               const double *caps, double *rates)
+static void solve_block(int f0, int num_flows, int row0, int num_rows,
+                        const int *flow_ptr, const int *flow_rows,
+                        const double *caps, const unsigned char *active,
+                        double *rates,
+                        double *residual, int *counts, int *row_ptr,
+                        int *row_flows, int *fill, unsigned char *frozen)
 {
-    if (num_flows <= 0) return;
-    int nnz = flow_ptr[num_flows];
-    double *residual = (double *)malloc((size_t)num_rows * sizeof(double));
-    int *counts = (int *)calloc((size_t)num_rows, sizeof(int));
-    char *frozen = (char *)calloc((size_t)num_flows, 1);
-    int *row_ptr = (int *)malloc(((size_t)num_rows + 1) * sizeof(int));
-    int *row_flows = (int *)malloc((size_t)(nnz > 0 ? nnz : 1) * sizeof(int));
-    int *fill = (int *)calloc((size_t)num_rows, sizeof(int));
-    if (!residual || !counts || !frozen || !row_ptr || !row_flows || !fill) {
-        /* Out of memory: report zero rates; the caller's invariant checks
-         * (executor progress detection) will surface the stall. */
-        for (int f = 0; f < num_flows; f++) rates[f] = 0.0;
-        goto done;
+    int remaining = 0;
+    memset(counts, 0, (size_t)num_rows * sizeof(int));
+    memset(fill, 0, (size_t)num_rows * sizeof(int));
+    for (int f = f0; f < f0 + num_flows; f++) {
+        if (active && !active[f]) continue;
+        remaining++;
+        frozen[f - f0] = 0;
+        rates[f] = 0.0;
+        for (int k = flow_ptr[f]; k < flow_ptr[f + 1]; k++)
+            counts[flow_rows[k] - row0]++;
     }
-
-    for (int k = 0; k < nnz; k++) counts[flow_rows[k]]++;
+    if (remaining == 0) return;
     row_ptr[0] = 0;
     for (int r = 0; r < num_rows; r++) row_ptr[r + 1] = row_ptr[r] + counts[r];
-    for (int f = 0; f < num_flows; f++)
+    for (int f = f0; f < f0 + num_flows; f++) {
+        if (active && !active[f]) continue;
         for (int k = flow_ptr[f]; k < flow_ptr[f + 1]; k++) {
-            int r = flow_rows[k];
+            int r = flow_rows[k] - row0;
             row_flows[row_ptr[r] + fill[r]++] = f;
         }
-    memcpy(residual, caps, (size_t)num_rows * sizeof(double));
-    for (int f = 0; f < num_flows; f++) rates[f] = 0.0;
+    }
+    memcpy(residual, caps + row0, (size_t)num_rows * sizeof(double));
 
-    int remaining = num_flows;
     while (remaining > 0) {
         int best = -1;
         double best_share = 0.0;
@@ -85,36 +98,188 @@ void waterfill(int num_flows, int num_rows,
         if (best < 0) {
             /* No remaining constraints: unconstrained flows get "infinite"
              * rate; in practice every path has at least one finite link. */
-            for (int f = 0; f < num_flows; f++)
-                if (!frozen[f]) rates[f] = INFINITY;
+            for (int f = f0; f < f0 + num_flows; f++) {
+                if (active && !active[f]) continue;
+                if (!frozen[f - f0]) rates[f] = INFINITY;
+            }
             break;
         }
         double share = best_share > 0.0 ? best_share : 0.0;
         for (int k = row_ptr[best]; k < row_ptr[best + 1]; k++) {
             int f = row_flows[k];
-            if (frozen[f]) continue;
-            frozen[f] = 1;
+            if (frozen[f - f0]) continue;
+            frozen[f - f0] = 1;
             rates[f] = share;
             remaining--;
             for (int j = flow_ptr[f]; j < flow_ptr[f + 1]; j++) {
-                int r = flow_rows[j];
+                int r = flow_rows[j] - row0;
                 double v = residual[r] - share;
                 residual[r] = v > 0.0 ? v : 0.0;
                 counts[r]--;
             }
         }
     }
+}
 
+/* One-shot solve (the per-event path).  Returns WF_OOM when scratch memory
+ * cannot be allocated — the caller is expected to fall back to its Python
+ * solver rather than trust the (zeroed) rates. */
+int waterfill(int num_flows, int num_rows,
+              const int *flow_ptr, const int *flow_rows,
+              const double *caps, double *rates)
+{
+    if (num_flows <= 0) return WF_OK;
+    int nnz = flow_ptr[num_flows];
+    double *residual = (double *)malloc((size_t)num_rows * sizeof(double));
+    int *counts = (int *)malloc((size_t)num_rows * sizeof(int));
+    unsigned char *frozen = (unsigned char *)malloc((size_t)num_flows);
+    int *row_ptr = (int *)malloc(((size_t)num_rows + 1) * sizeof(int));
+    int *row_flows = (int *)malloc((size_t)(nnz > 0 ? nnz : 1) * sizeof(int));
+    int *fill = (int *)malloc((size_t)num_rows * sizeof(int));
+    int status = WF_OK;
+    if (!residual || !counts || !frozen || !row_ptr || !row_flows || !fill) {
+        for (int f = 0; f < num_flows; f++) rates[f] = 0.0;
+        status = WF_OOM;
+        goto done;
+    }
+    solve_block(0, num_flows, 0, num_rows, flow_ptr, flow_rows, caps, NULL,
+                rates, residual, counts, row_ptr, row_flows, fill, frozen);
 done:
     free(residual); free(counts); free(frozen);
     free(row_ptr); free(row_flows); free(fill);
+    return status;
+}
+
+/* Folded solve -> next-completion -> advance loop over a batch of
+ * independent blocks (one block per simulated configuration), stacked as a
+ * block-diagonal CSR.  For each block b the loop exactly mirrors the Python
+ * executor's flow branch:
+ *
+ *   solve rates; find the earliest completion dt (first flow wins exact
+ *   ties, in flow order); stop *before* consuming it if the block's budget
+ *   (the next timed task) is at or before now+dt; otherwise advance every
+ *   flow by dt (remaining -= rate*dt, clamped at zero — note inf*0 -> NaN
+ *   -> clamped, matching Python), collect finished flows in flow order,
+ *   retire them from their groups, and stop once any group drains (its
+ *   owning comm task must complete in Python before anything else moves).
+ *
+ * Arrays are concatenations over blocks: flows of block b are
+ * [block_flows[b], block_flows[b+1]), rows [block_rows[b], block_rows[b+1]).
+ * group_of[f] indexes the shared group_left array directly (or -1 for
+ * ungrouped flows).  finished[] receives global flow ids, segmented per
+ * block at offsets block_flows[b]; finished_count[b], now[b], next_flow[b],
+ * steps[b] and stop_reason[b] report each block's outcome.  Returns WF_OOM
+ * (without touching any block) when scratch allocation fails.
+ */
+int waterfill_batch(int num_blocks,
+                    const int *block_flows, const int *block_rows,
+                    const int *flow_ptr, const int *flow_rows,
+                    const double *caps,
+                    double *remaining, const double *threshold,
+                    const int *group_of, int *group_left,
+                    double *now, const double *budget,
+                    double *rates, unsigned char *active,
+                    int *finished, int *finished_count,
+                    double *next_flow, int *steps, int *stop_reason,
+                    const int *max_steps)
+{
+    int max_nf = 0, max_nr = 0, max_nnz = 0;
+    for (int b = 0; b < num_blocks; b++) {
+        int nf = block_flows[b + 1] - block_flows[b];
+        int nr = block_rows[b + 1] - block_rows[b];
+        int nnz = flow_ptr[block_flows[b + 1]] - flow_ptr[block_flows[b]];
+        if (nf > max_nf) max_nf = nf;
+        if (nr > max_nr) max_nr = nr;
+        if (nnz > max_nnz) max_nnz = nnz;
+    }
+    double *residual = (double *)malloc((size_t)(max_nr > 0 ? max_nr : 1) * sizeof(double));
+    int *counts = (int *)malloc((size_t)(max_nr > 0 ? max_nr : 1) * sizeof(int));
+    unsigned char *frozen = (unsigned char *)malloc((size_t)(max_nf > 0 ? max_nf : 1));
+    int *row_ptr = (int *)malloc(((size_t)max_nr + 1) * sizeof(int));
+    int *row_flows = (int *)malloc((size_t)(max_nnz > 0 ? max_nnz : 1) * sizeof(int));
+    int *fill = (int *)malloc((size_t)(max_nr > 0 ? max_nr : 1) * sizeof(int));
+    if (!residual || !counts || !frozen || !row_ptr || !row_flows || !fill) {
+        free(residual); free(counts); free(frozen);
+        free(row_ptr); free(row_flows); free(fill);
+        return WF_OOM;
+    }
+
+    for (int b = 0; b < num_blocks; b++) {
+        int f0 = block_flows[b], f1 = block_flows[b + 1];
+        int row0 = block_rows[b], nr = block_rows[b + 1] - block_rows[b];
+        double t = now[b];
+        int fcount = 0, st = 0;
+        int reason = WF_STOP_STALL;
+        next_flow[b] = INFINITY;
+        for (;;) {
+            solve_block(f0, f1 - f0, row0, nr, flow_ptr, flow_rows, caps,
+                        active, rates, residual, counts, row_ptr, row_flows,
+                        fill, frozen);
+            /* Earliest completion: strict < keeps the first flow on exact
+             * ties, like the Python dict scan. */
+            int found = 0;
+            double dt = 0.0;
+            for (int f = f0; f < f1; f++) {
+                if (!active[f] || !(rates[f] > 0.0)) continue;
+                double d = remaining[f] / rates[f];
+                if (!found || d < dt) { found = 1; dt = d; }
+            }
+            if (!found) { reason = WF_STOP_STALL; break; }
+            double at = t + dt;
+            /* budget == INFINITY encodes "no timed event pending": the
+             * Python loop then always takes the flow branch, even when dt
+             * itself overflows to infinity. */
+            if (budget[b] != INFINITY && budget[b] <= at) {
+                reason = WF_STOP_BUDGET;
+                next_flow[b] = at;
+                break;
+            }
+            if (st >= max_steps[b]) { reason = WF_STOP_STEPS; break; }
+            int group_done = 0;
+            for (int f = f0; f < f1; f++) {
+                if (!active[f]) continue;
+                if (rates[f] > 0.0) {
+                    double v = remaining[f] - rates[f] * dt;
+                    remaining[f] = v > 0.0 ? v : 0.0;
+                }
+                if (remaining[f] <= threshold[f]) {
+                    finished[f0 + fcount++] = f;
+                    active[f] = 0;
+                    int g = group_of[f];
+                    if (g >= 0 && --group_left[g] == 0) group_done = 1;
+                }
+            }
+            t = at;
+            st++;
+            if (group_done) { reason = WF_STOP_GROUP; break; }
+        }
+        now[b] = t;
+        finished_count[b] = fcount;
+        steps[b] = st;
+        stop_reason[b] = reason;
+    }
+
+    free(residual); free(counts); free(frozen);
+    free(row_ptr); free(row_flows); free(fill);
+    return WF_OK;
 }
 """
 
 CDEF = """
-void waterfill(int num_flows, int num_rows,
-               const int *flow_ptr, const int *flow_rows,
-               const double *caps, double *rates);
+int waterfill(int num_flows, int num_rows,
+              const int *flow_ptr, const int *flow_rows,
+              const double *caps, double *rates);
+int waterfill_batch(int num_blocks,
+                    const int *block_flows, const int *block_rows,
+                    const int *flow_ptr, const int *flow_rows,
+                    const double *caps,
+                    double *remaining, const double *threshold,
+                    const int *group_of, int *group_left,
+                    double *now, const double *budget,
+                    double *rates, unsigned char *active,
+                    int *finished, int *finished_count,
+                    double *next_flow, int *steps, int *stop_reason,
+                    const int *max_steps);
 """
 
 _LOADED: Optional[Tuple[object, object]] = None

@@ -14,11 +14,17 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.fabric.base import RegionNetwork
 from repro.sim.dag import FlowSpec, RouteKind, Task, TaskGraph, TaskKind
-from repro.sim.flows import Flow, FluidNetwork
+from repro.sim.flows import (
+    Flow,
+    FlowAdvanceOutcome,
+    FlowAdvanceRequest,
+    FluidNetwork,
+    service_advance_requests,
+)
 
 
 @dataclass
@@ -60,76 +66,32 @@ class Executor:
         self.region = region
         self.network = FluidNetwork(region, solver=solver)
         self._flow_counter = itertools.count()
+        # (src, dst, route) -> resolved path.  EP routes follow the optical
+        # circuits, so that cache is cleared on topology changes; EPS and
+        # intra paths are static for the lifetime of the region.
+        self._path_cache: Dict[Tuple[int, int, RouteKind], List[str]] = {}
+        self._ep_path_cache: Dict[Tuple[int, int, RouteKind], List[str]] = {}
 
     # ------------------------------------------------------------------- run
+    def _make_state(self) -> "_RunState":
+        return _RunState(self)
+
     def run(self, max_events: int = 5_000_000) -> ExecutionResult:
         """Execute the DAG and return timing results.
+
+        This is the per-event reference loop; :meth:`iter_run` is the folded
+        formulation (bit-identical results, enforced by differential tests).
 
         Raises:
             RuntimeError: If the simulation deadlocks (flows exist but cannot
                 make progress and no timed event is pending) or exceeds
                 ``max_events``.
         """
-        tasks = self.graph.tasks
-        remaining_deps: Dict[str, int] = {tid: len(t.deps) for tid, t in tasks.items()}
-        dependents: Dict[str, List[str]] = {tid: [] for tid in tasks}
-        for tid, task in tasks.items():
-            for dep in task.deps:
-                dependents[dep].append(tid)
-
-        result = ExecutionResult(makespan=0.0)
-        now = 0.0
-        timed_events: List[Tuple[float, int, str]] = []  # (finish time, seq, task id)
-        seq = itertools.count()
-        flows_of_task: Dict[str, Set[str]] = {}
-        task_of_flow: Dict[str, str] = {}
-        done: Set[str] = set()
-
-        def start_task(task_id: str) -> None:
-            task = tasks[task_id]
-            result.task_start_times[task_id] = now
-            if task.on_start is not None:
-                task.on_start()
-            if task.kind is TaskKind.COMM:
-                flow_ids: Set[str] = set()
-                for spec in task.flow_specs:
-                    if spec.size_bytes <= 0:
-                        continue
-                    path = self._resolve_path(spec)
-                    flow_id = f"{task_id}/f{next(self._flow_counter)}"
-                    self.network.add_flow(
-                        Flow(flow_id=flow_id, size_bytes=spec.size_bytes, path=path)
-                    )
-                    flow_ids.add(flow_id)
-                    task_of_flow[flow_id] = task_id
-                    result.comm_bytes += spec.size_bytes
-                if flow_ids:
-                    flows_of_task[task_id] = flow_ids
-                else:
-                    # Nothing to transfer: completes instantly.
-                    heapq.heappush(timed_events, (now, next(seq), task_id))
-            else:
-                if task.kind is TaskKind.RECONFIG:
-                    result.reconfig_time_total += task.duration_s
-                heapq.heappush(timed_events, (now + task.duration_s, next(seq), task_id))
-
-        def complete_task(task_id: str) -> None:
-            task = tasks[task_id]
-            done.add(task_id)
-            result.task_finish_times[task_id] = now
-            if task.on_complete is not None:
-                task.on_complete()
-                # A callback may have changed link capacities (e.g. circuits).
-                self.network.mark_topology_changed()
-            for dependent in dependents[task_id]:
-                remaining_deps[dependent] -= 1
-                if remaining_deps[dependent] == 0:
-                    start_task(dependent)
-
-        # Start all roots.
-        for tid, count in list(remaining_deps.items()):
-            if count == 0:
-                start_task(tid)
+        state = self._make_state()
+        tasks = state.tasks
+        timed_events = state.timed_events
+        done = state.done
+        state.start_roots()
 
         events = 0
         while len(done) < len(tasks):
@@ -137,59 +99,110 @@ class Executor:
             if events > max_events:
                 raise RuntimeError("executor exceeded the maximum event budget")
 
+            now = state.now
             next_timed: Optional[float] = timed_events[0][0] if timed_events else None
             next_flow_dt = self.network.time_to_next_completion()
             next_flow: Optional[float] = now + next_flow_dt if next_flow_dt is not None else None
 
             if next_timed is None and next_flow is None:
-                if self.network.active_flow_count() > 0:
-                    raise RuntimeError(
-                        "simulation deadlock: active flows cannot make progress "
-                        "(a path is dark and no event will revive it)"
-                    )
-                raise RuntimeError("simulation deadlock: tasks remaining but no events pending")
+                raise _deadlock_error(self.network)
 
             if next_flow is None or (next_timed is not None and next_timed <= next_flow):
                 target_time = max(now, next_timed)  # type: ignore[arg-type]
                 finished_flows = (
                     self.network.advance(target_time - now) if target_time > now else []
                 )
-                now = target_time
-                finished_ids: List[str] = []
-                while timed_events and timed_events[0][0] <= now + 1e-15:
-                    _, _, tid = heapq.heappop(timed_events)
-                    finished_ids.append(tid)
-                for tid in finished_ids:
-                    complete_task(tid)
+                state.now = target_time
+                state.complete_due_timed_events()
                 # Flows may finish at exactly the same instant as a timed task;
                 # their owning communication tasks must complete too.
-                for flow in finished_flows:
-                    owner = task_of_flow.pop(flow.flow_id)
-                    owner_flows = flows_of_task[owner]
-                    owner_flows.discard(flow.flow_id)
-                    if not owner_flows:
-                        del flows_of_task[owner]
-                        complete_task(owner)
+                state.complete_finished_flows(finished_flows)
             else:
                 # Advance by the relative step rather than the difference of
                 # absolute times, which would be absorbed to zero once the
                 # clock is many orders of magnitude larger than the step.
                 assert next_flow_dt is not None
                 finished_flows = self.network.advance(next_flow_dt)
-                now = now + next_flow_dt
-                completed_comm: List[str] = []
-                for flow in finished_flows:
-                    owner = task_of_flow.pop(flow.flow_id)
-                    owner_flows = flows_of_task[owner]
-                    owner_flows.discard(flow.flow_id)
-                    if not owner_flows:
-                        completed_comm.append(owner)
-                        del flows_of_task[owner]
-                for tid in completed_comm:
-                    complete_task(tid)
+                state.now = now + next_flow_dt
+                state.complete_finished_flows(finished_flows)
 
-        result.makespan = now
-        return result
+        state.result.makespan = state.now
+        return state.result
+
+    def iter_run(
+        self, max_events: int = 5_000_000
+    ) -> Generator[FlowAdvanceRequest, FlowAdvanceOutcome, ExecutionResult]:
+        """Folded form of :meth:`run`: a generator that delegates every span
+        of consecutive flow events to its driver.
+
+        Whenever flows are active, the generator yields a
+        :class:`FlowAdvanceRequest` (budgeted at the next timed event) and
+        expects the matching :class:`FlowAdvanceOutcome` via ``send()``.  A
+        driver servicing many executors batches their requests through one
+        ``waterfill_batch`` call (:func:`service_advance_requests`); driving a
+        single executor this way is exactly :meth:`run` with the inner flow
+        loop moved into C.  Returns the :class:`ExecutionResult` as the
+        generator's value.
+        """
+        state = self._make_state()
+        tasks = state.tasks
+        timed_events = state.timed_events
+        done = state.done
+        state.start_roots()
+
+        events = 0
+        while len(done) < len(tasks):
+            if self.network.active_flow_count() == 0:
+                if not timed_events:
+                    raise _deadlock_error(self.network)
+                events += 1
+                if events > max_events:
+                    raise RuntimeError("executor exceeded the maximum event budget")
+                state.now = max(state.now, timed_events[0][0])
+                state.complete_due_timed_events()
+                continue
+
+            next_timed = timed_events[0][0] if timed_events else None
+            outcome = yield FlowAdvanceRequest(
+                self.network, state.now, next_timed, max_events - events
+            )
+            events += outcome.steps
+            state.now = outcome.now
+            state.complete_finished_flows(outcome.finished)
+            if outcome.reason == "group":
+                continue
+            if outcome.reason == "steps":
+                raise RuntimeError("executor exceeded the maximum event budget")
+            # "budget", "stall" or "idle": the next event is a timed one (the
+            # run() loop's timed branch), or nothing can ever progress.
+            if not timed_events:
+                raise _deadlock_error(self.network)
+            events += 1
+            if events > max_events:
+                raise RuntimeError("executor exceeded the maximum event budget")
+            target_time = max(state.now, timed_events[0][0])
+            finished_flows = (
+                self.network.advance(target_time - state.now)
+                if target_time > state.now
+                else []
+            )
+            state.now = target_time
+            state.complete_due_timed_events()
+            state.complete_finished_flows(finished_flows)
+
+        state.result.makespan = state.now
+        return state.result
+
+    def run_folded(self, max_events: int = 5_000_000) -> ExecutionResult:
+        """Drive :meth:`iter_run` standalone (a one-block folded batch)."""
+        runner = self.iter_run(max_events)
+        outcome: Optional[FlowAdvanceOutcome] = None
+        while True:
+            try:
+                request = runner.send(outcome) if outcome is not None else next(runner)
+            except StopIteration as stop:
+                return stop.value
+            outcome = service_advance_requests([request])[0]
 
     # ----------------------------------------------------------------- routes
     def _resolve_path(self, spec: FlowSpec) -> List[str]:
@@ -198,3 +211,126 @@ class Executor:
         if spec.route is RouteKind.EP:
             return self.region.ep_path(spec.src_server, spec.dst_server)
         return self.region.eps_path(spec.src_server, spec.dst_server)
+
+
+def _deadlock_error(network: FluidNetwork) -> RuntimeError:
+    if network.active_flow_count() > 0:
+        return RuntimeError(
+            "simulation deadlock: active flows cannot make progress "
+            "(a path is dark and no event will revive it)"
+        )
+    return RuntimeError("simulation deadlock: tasks remaining but no events pending")
+
+
+class _RunState:
+    """DAG bookkeeping shared by :meth:`Executor.run` and
+    :meth:`Executor.iter_run` — task readiness, the timed-event heap, and the
+    flow-to-task ownership maps."""
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+        self.tasks = executor.graph.tasks
+        self.remaining_deps: Dict[str, int] = {
+            tid: len(t.deps) for tid, t in self.tasks.items()
+        }
+        self.dependents: Dict[str, List[str]] = {tid: [] for tid in self.tasks}
+        for tid, task in self.tasks.items():
+            for dep in task.deps:
+                self.dependents[dep].append(tid)
+        self.result = ExecutionResult(makespan=0.0)
+        self.now = 0.0
+        self.timed_events: List[Tuple[float, int, str]] = []  # (time, seq, task)
+        self.seq = itertools.count()
+        self.flows_left_of_task: Dict[str, int] = {}
+        self.task_of_flow: Dict[str, str] = {}
+        self.done: Set[str] = set()
+
+    def start_roots(self) -> None:
+        for tid, count in list(self.remaining_deps.items()):
+            if count == 0:
+                self.start_task(tid)
+
+    def start_task(self, task_id: str) -> None:
+        executor = self.executor
+        task = self.tasks[task_id]
+        self.result.task_start_times[task_id] = self.now
+        if task.on_start is not None:
+            task.on_start()
+        if task.kind is TaskKind.COMM:
+            new_flows: List[Flow] = []
+            comm_bytes = self.result.comm_bytes
+            path_cache = executor._path_cache
+            ep_path_cache = executor._ep_path_cache
+            flow_counter = executor._flow_counter
+            make_flow = Flow.make
+            ep_route = RouteKind.EP
+            for spec in task.flow_specs:
+                if spec.size_bytes <= 0:
+                    continue
+                route = spec.route
+                cache = ep_path_cache if route is ep_route else path_cache
+                route_key = (spec.src_server, spec.dst_server, route)
+                path = cache.get(route_key)
+                if path is None:
+                    path = executor._resolve_path(spec)
+                    cache[route_key] = path
+                flow_id = f"{task_id}/f{next(flow_counter)}"
+                new_flows.append(make_flow(flow_id, spec.size_bytes, path))
+                comm_bytes += spec.size_bytes
+            self.result.comm_bytes = comm_bytes
+            if new_flows:
+                executor.network.add_flows(new_flows, group=task_id)
+                task_of_flow = self.task_of_flow
+                for flow in new_flows:
+                    task_of_flow[flow.flow_id] = task_id
+                self.flows_left_of_task[task_id] = len(new_flows)
+            else:
+                # Nothing to transfer: completes instantly.
+                heapq.heappush(self.timed_events, (self.now, next(self.seq), task_id))
+        else:
+            if task.kind is TaskKind.RECONFIG:
+                self.result.reconfig_time_total += task.duration_s
+            heapq.heappush(
+                self.timed_events,
+                (self.now + task.duration_s, next(self.seq), task_id),
+            )
+
+    def complete_task(self, task_id: str) -> None:
+        task = self.tasks[task_id]
+        self.done.add(task_id)
+        self.result.task_finish_times[task_id] = self.now
+        if task.on_complete is not None:
+            task.on_complete()
+            # A callback may have changed link capacities (e.g. circuits) —
+            # EP routes resolved under the old circuit set are stale too
+            # (EPS and intra paths never change).
+            self.executor.network.mark_topology_changed()
+            self.executor._ep_path_cache.clear()
+        for dependent in self.dependents[task_id]:
+            self.remaining_deps[dependent] -= 1
+            if self.remaining_deps[dependent] == 0:
+                self.start_task(dependent)
+
+    def complete_due_timed_events(self) -> None:
+        """Pop and complete every timed event due at (or just before) now."""
+        finished_ids: List[str] = []
+        while self.timed_events and self.timed_events[0][0] <= self.now + 1e-15:
+            _, _, tid = heapq.heappop(self.timed_events)
+            finished_ids.append(tid)
+        for tid in finished_ids:
+            self.complete_task(tid)
+
+    def complete_finished_flows(self, finished_flows: List[Flow]) -> None:
+        """Retire finished flows; complete comm tasks whose last flow ended."""
+        completed_comm: List[str] = []
+        flows_left = self.flows_left_of_task
+        for flow in finished_flows:
+            owner = self.task_of_flow.pop(flow.flow_id)
+            left = flows_left[owner] - 1
+            if left:
+                flows_left[owner] = left
+            else:
+                completed_comm.append(owner)
+                del flows_left[owner]
+        for tid in completed_comm:
+            self.complete_task(tid)

@@ -38,8 +38,9 @@ mutations already trigger, e.g. the executor after reconfiguration callbacks).
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -85,7 +86,7 @@ def resolve_solver(solver: Optional[str]) -> str:
     return _selector.resolve(solver)
 
 
-@dataclass
+@dataclass(slots=True)
 class Flow:
     """A single data transfer over a fixed path.
 
@@ -102,6 +103,7 @@ class Flow:
     path: List[str]
     remaining_bytes: float = field(init=False)
     rate: float = 0.0
+    _finish_threshold: float = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
@@ -118,6 +120,23 @@ class Flow:
     @property
     def finished(self) -> bool:
         return self.remaining_bytes <= self._finish_threshold
+
+    @classmethod
+    def make(cls, flow_id: str, size_bytes: float, path: List[str]) -> "Flow":
+        """Construct without argument validation.
+
+        For callers that create flows in bulk from already-validated specs
+        (positive sizes, resolver-produced paths); semantically identical to
+        the normal constructor.
+        """
+        flow = object.__new__(cls)
+        flow.flow_id = flow_id
+        flow.size_bytes = size_bytes
+        flow.path = path
+        flow.remaining_bytes = float(size_bytes)
+        flow.rate = 0.0
+        flow._finish_threshold = max(1e-3, 1e-9 * size_bytes)
+        return flow
 
 
 class FluidNetwork:
@@ -137,6 +156,13 @@ class FluidNetwork:
         self.solver = resolve_solver(solver)
         self._flows: Dict[str, Flow] = {}
         self._rates_dirty = True
+        # Optional flow grouping (used by the executor to map flows back to
+        # their owning communication task): the folded advance loop stops as
+        # soon as any group drains, because completing the owning task needs
+        # Python.  Groups are orthogonal to the rate solvers.
+        self._flow_group: Dict[str, object] = {}
+        self._group_left: Dict[object, int] = {}
+        self._drained_groups: set = set()
         if self.solver != "scalar":
             self._init_incremental_state()
 
@@ -150,11 +176,31 @@ class FluidNetwork:
         self._row_flows: List[List[Flow]] = []  # row -> active flows crossing it
         self._count_list: List[int] = []        # row -> active traversal count
         self._path_rows: Dict[str, List[int]] = {}
+        # Paths repeat heavily across tasks (the same server pairs talk every
+        # layer); rows are assigned once per link and never reassigned, so
+        # the path -> rows translation is cacheable for the network's
+        # lifetime.  Values are shared (read-only) across flows.
+        # Keyed by id(path list); the value pins the path object so its id
+        # can never be recycled by a different list.  The executor shares one
+        # path list per (src, dst, route), making this an O(1) int lookup on
+        # the hottest add_flows path.
+        self._rows_of_path: Dict[int, Tuple[List[str], List[int]]] = {}
+        # The native kernel consumes only the CSR arrays, so per-flow upkeep
+        # of the row->flows lists is wasted work there; they are rebuilt on
+        # demand (_ensure_row_flows) if the network ever degrades to a Python
+        # solver.
+        self._maintains_row_flows = self.solver != "native"
         # Native-kernel scratch: CSR buffers are persistent and only refilled
         # when the flow set changes; cffi pointers are cached per allocation.
         self._native_loaded = None
         self._csr_valid = False
         self._csr_flows: List[Flow] = []
+        self._thr_buf = np.zeros(0)
+        self._active_buf = np.zeros(0, dtype=np.uint8)
+        self._csr_groups: List[object] = []
+        self._grp_buf = np.zeros(0, dtype=np.int32)
+        self._grp_keys: List[object] = []
+        self._csr_inactive = 0
         self._ptr_buf = np.zeros(0, dtype=np.int32)
         self._rows_buf = np.zeros(0, dtype=np.int32)
         self._rates_buf = np.zeros(0)
@@ -195,34 +241,175 @@ class FluidNetwork:
     def active_flow_count(self) -> int:
         return len(self._flows)
 
-    def add_flow(self, flow: Flow) -> None:
+    def add_flow(self, flow: Flow, group: Optional[object] = None) -> None:
         if flow.flow_id in self._flows:
             raise ValueError(f"duplicate flow id {flow.flow_id!r}")
         for link_id in flow.path:
             if link_id not in self.region.links:
                 raise KeyError(f"flow {flow.flow_id} uses unknown link {link_id!r}")
         self._flows[flow.flow_id] = flow
+        if group is not None:
+            self._flow_group[flow.flow_id] = group
+            self._group_left[group] = self._group_left.get(group, 0) + 1
         if self.solver != "scalar":
             rows = [self._row_for(link_id) for link_id in flow.path]
             self._path_rows[flow.flow_id] = rows
-            for row in rows:
-                self._row_flows[row].append(flow)
-                self._count_list[row] += 1
+            if self._maintains_row_flows:
+                for row in rows:
+                    self._row_flows[row].append(flow)
+                    self._count_list[row] += 1
             self._csr_valid = False
+        self._rates_dirty = True
+
+    def add_flows(self, flows: Sequence[Flow], group: Optional[object] = None) -> None:
+        """Bulk :meth:`add_flow`: one bookkeeping pass for a task's flow batch.
+
+        Semantically identical to calling :meth:`add_flow` per flow in order,
+        but hoists the attribute lookups out of the loop — the executor adds
+        every flow of a communication task at once, which makes this the
+        hottest path of graph construction.  Unknown-link validation runs
+        only the first time a path is seen; a path that validated once stays
+        valid because incidence rows are never reassigned.
+        """
+        if not flows:
+            return
+        links = self.region.links
+        flow_map = self._flows
+        if self.solver == "scalar":
+            for flow in flows:
+                if flow.flow_id in flow_map:
+                    raise ValueError(f"duplicate flow id {flow.flow_id!r}")
+                for link_id in flow.path:
+                    if link_id not in links:
+                        raise KeyError(
+                            f"flow {flow.flow_id} uses unknown link {link_id!r}"
+                        )
+                flow_map[flow.flow_id] = flow
+        else:
+            link_row = self._link_row
+            path_rows = self._path_rows
+            maintains = self._maintains_row_flows
+            row_flows = self._row_flows
+            count_list = self._count_list
+            rows_of_path = self._rows_of_path
+            row_of = link_row.get
+            # Fused CSR construction: in the dominant pattern the network is
+            # empty when a task's batch arrives (all prior flows completed),
+            # so the bookkeeping pass below sees exactly the flow set the
+            # next solve needs.  Building the CSR arrays here skips the
+            # otherwise-inevitable full _rebuild_csr pass over the same
+            # flows.
+            # (Gated on a loaded kernel: _ensure_native_buffers needs its ffi,
+            # and a network that never reaches the native solver never needs
+            # CSR arrays at all.)
+            fuse_csr = (
+                not maintains and not flow_map
+                and self._native_loaded is not None
+            )
+            flow_rows: List[int] = []
+            flow_ptr: List[int] = [0]
+            for flow in flows:
+                flow_id = flow.flow_id
+                if flow_id in flow_map:
+                    raise ValueError(f"duplicate flow id {flow_id!r}")
+                path = flow.path
+                entry = rows_of_path.get(id(path))
+                if entry is None:
+                    rows = []
+                    for link_id in path:
+                        if link_id not in links:
+                            raise KeyError(
+                                f"flow {flow_id} uses unknown link {link_id!r}"
+                            )
+                        row = row_of(link_id)
+                        rows.append(
+                            row if row is not None else self._row_for(link_id)
+                        )
+                    rows_of_path[id(path)] = (path, rows)
+                else:
+                    rows = entry[1]
+                flow_map[flow_id] = flow
+                path_rows[flow_id] = rows
+                if maintains:
+                    for row in rows:
+                        row_flows[row].append(flow)
+                        count_list[row] += 1
+                elif fuse_csr:
+                    flow_rows.extend(rows)
+                    flow_ptr.append(len(flow_rows))
+            if fuse_csr:
+                count = len(flows)
+                self._ensure_native_buffers(count, len(flow_rows))
+                self._ptr_buf[: len(flow_ptr)] = flow_ptr
+                self._rows_buf[: len(flow_rows)] = flow_rows
+                self._csr_flows = list(flows)
+                self._thr_buf[:count] = [
+                    flow._finish_threshold for flow in flows
+                ]
+                self._active_buf[:count] = 1
+                if group is not None:
+                    self._csr_groups = [group] * count
+                    self._grp_buf = np.zeros(count, dtype=np.int32)
+                    self._grp_keys = [group]
+                else:
+                    self._csr_groups = [None] * count
+                    self._grp_buf = np.full(count, -1, dtype=np.int32)
+                    self._grp_keys = []
+                self._csr_inactive = 0
+                self._csr_valid = True
+            else:
+                self._csr_valid = False
+        if group is not None:
+            self._flow_group.update((flow.flow_id, group) for flow in flows)
+            self._group_left[group] = self._group_left.get(group, 0) + len(flows)
         self._rates_dirty = True
 
     def remove_flow(self, flow_id: str) -> Flow:
         flow = self._flows.pop(flow_id)
         if self.solver != "scalar":
             self._forget_flow(flow)
+        self._release_group(flow_id)
         self._rates_dirty = True
         return flow
 
     def _forget_flow(self, flow: Flow) -> None:
-        for row in self._path_rows.pop(flow.flow_id):
-            self._row_flows[row].remove(flow)
-            self._count_list[row] -= 1
+        rows = self._path_rows.pop(flow.flow_id)
+        if self._maintains_row_flows:
+            for row in rows:
+                self._row_flows[row].remove(flow)
+                self._count_list[row] -= 1
         self._csr_valid = False
+
+    def _ensure_row_flows(self) -> None:
+        """Rebuild the row->flows lists after running without their upkeep.
+
+        Rebuilding iterates flows in insertion order and each flow's rows in
+        path order — exactly the order incremental maintenance would have
+        produced (``list.remove`` preserves relative order), so the heap
+        solver's registration-order tie-breaking is unaffected.
+        """
+        if self._maintains_row_flows:
+            return
+        row_flows: List[List[Flow]] = [[] for _ in self._link_ids]
+        counts = [0] * len(self._link_ids)
+        for flow in self._flows.values():
+            for row in self._path_rows[flow.flow_id]:
+                row_flows[row].append(flow)
+                counts[row] += 1
+        self._row_flows = row_flows
+        self._count_list = counts
+        self._maintains_row_flows = True
+
+    def _release_group(self, flow_id: str) -> None:
+        group = self._flow_group.pop(flow_id, None)
+        if group is None:
+            return
+        left = self._group_left[group] - 1
+        if left:
+            self._group_left[group] = left
+        else:
+            del self._group_left[group]
+            self._drained_groups.add(group)
 
     def mark_topology_changed(self) -> None:
         """Signal that link capacities changed (forces a rate recomputation)."""
@@ -240,11 +427,15 @@ class FluidNetwork:
                 self._refresh_capacities()
             if self.solver == "native":
                 self._solve_native()
-            elif len(self._flows) >= DENSE_ROUND_THRESHOLD:
-                self._solve_rounds_dense()
             else:
-                self._solve_rounds_heap()
+                self._solve_python()
         self._rates_dirty = False
+
+    def _solve_python(self) -> None:
+        if len(self._flows) >= DENSE_ROUND_THRESHOLD:
+            self._solve_rounds_dense()
+        else:
+            self._solve_rounds_heap()
 
     def _solve_rounds_heap(self) -> None:
         """Progressive water-filling with a heap-ordered bottleneck sequence.
@@ -374,19 +565,41 @@ class FluidNetwork:
             flow.rate = rate
 
     def _ensure_native_buffers(self, num_flows: int, nnz: int) -> None:
+        """Grow the persistent CSR buffers, preserving their contents.
+
+        Preservation matters for the incremental append path
+        (:meth:`add_flows` onto a valid CSR), where existing entries stay
+        live across a growth.
+        """
         _, ffi = self._native_loaded
         if len(self._ptr_buf) < num_flows + 1:
-            self._ptr_buf = np.zeros(max(2 * (num_flows + 1), 64), dtype=np.int32)
+            grown = np.zeros(max(2 * (num_flows + 1), 64), dtype=np.int32)
+            grown[: len(self._ptr_buf)] = self._ptr_buf
+            self._ptr_buf = grown
             self._ptr_ptr = ffi.cast("const int *", ffi.from_buffer(self._ptr_buf))
         if len(self._rows_buf) < nnz:
-            self._rows_buf = np.zeros(max(2 * nnz, 256), dtype=np.int32)
+            grown = np.zeros(max(2 * nnz, 256), dtype=np.int32)
+            grown[: len(self._rows_buf)] = self._rows_buf
+            self._rows_buf = grown
             self._rows_ptr = ffi.cast("const int *", ffi.from_buffer(self._rows_buf))
         if len(self._rates_buf) < num_flows:
-            self._rates_buf = np.zeros(max(2 * num_flows, 64))
+            grown = np.zeros(max(2 * num_flows, 64))
+            grown[: len(self._rates_buf)] = self._rates_buf
+            self._rates_buf = grown
             self._rates_ptr = ffi.cast("double *", ffi.from_buffer(self._rates_buf))
+        if len(self._thr_buf) < num_flows:
+            grown = np.zeros(max(2 * num_flows, 64))
+            grown[: len(self._thr_buf)] = self._thr_buf
+            self._thr_buf = grown
+        if len(self._active_buf) < num_flows:
+            grown = np.zeros(max(2 * num_flows, 64), dtype=np.uint8)
+            grown[: len(self._active_buf)] = self._active_buf
+            self._active_buf = grown
 
-    def _solve_native(self) -> None:
-        """Feed the incremental incidence (as CSR arrays) to the C kernel."""
+    def _native_ready(self) -> bool:
+        """Lazily load the C kernel; degrade to ``vectorized`` if unavailable."""
+        if self.solver != "native":
+            return False
         if self._native_loaded is None:
             from repro.sim._native import native_lib
 
@@ -394,31 +607,84 @@ class FluidNetwork:
             if self._native_loaded is None:
                 # Compiler/kernel unavailable after all; degrade gracefully.
                 self.solver = "vectorized"
-                if len(self._flows) >= DENSE_ROUND_THRESHOLD:
-                    self._solve_rounds_dense()
-                else:
-                    self._solve_rounds_heap()
-                return
+                self._ensure_row_flows()
+                return False
+        return True
+
+    def _native_oom_fallback(self, entry_point: str) -> None:
+        """The C kernel reported scratch-allocation failure (WF_OOM).
+
+        Its rates are zeroed, not valid — previously this surfaced much later
+        as an inexplicable executor "deadlock".  Demote to the Python solver
+        (the allocation would just fail again) and solve with it.
+        """
+        warnings.warn(
+            f"native fluid kernel ({entry_point}) could not allocate scratch "
+            f"memory; falling back to the Python rate solver",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self.solver = "vectorized"
+        self._ensure_row_flows()
+        self._solve_python()
+
+    def _rebuild_csr(self) -> None:
+        """Refill the persistent CSR buffers from the current flow set."""
+        flows = list(self._flows.values())
+        path_rows = self._path_rows
+        flow_ptr = [0]
+        flow_rows: List[int] = []
+        for flow in flows:
+            flow_rows.extend(path_rows[flow.flow_id])
+            flow_ptr.append(len(flow_rows))
+        self._ensure_native_buffers(len(flows), len(flow_rows))
+        self._ptr_buf[: len(flow_ptr)] = flow_ptr
+        self._rows_buf[: len(flow_rows)] = flow_rows
+        self._csr_flows = flows
+        # Per-flow constants aligned with _csr_flows, gathered once per
+        # rebuild instead of once per batch round: finish thresholds are
+        # immutable, and a flow's group never changes while it is active.
+        self._thr_buf[: len(flows)] = [flow._finish_threshold for flow in flows]
+        self._active_buf[: len(flows)] = 1
+        flow_group = self._flow_group
+        if flow_group:
+            self._csr_groups = [flow_group.get(flow.flow_id) for flow in flows]
+            # Local group slots (-1 = ungrouped), remapped into the batch's
+            # shared slot space with one vectorized add per round.
+            slots: Dict[object, int] = {}
+            grp_buf = np.full(len(flows), -1, dtype=np.int32)
+            for position, key in enumerate(self._csr_groups):
+                if key is None:
+                    continue
+                slot = slots.get(key)
+                if slot is None:
+                    slot = slots[key] = len(slots)
+                grp_buf[position] = slot
+            self._grp_buf = grp_buf
+            self._grp_keys = list(slots)
+        else:
+            self._csr_groups = [None] * len(flows)
+            self._grp_buf = np.full(len(flows), -1, dtype=np.int32)
+            self._grp_keys = []
+        self._csr_inactive = 0
+        self._csr_valid = True
+
+    def _solve_native(self) -> None:
+        """Feed the incremental incidence (as CSR arrays) to the C kernel."""
+        if not self._native_ready():
+            self._solve_python()
+            return
         lib, ffi = self._native_loaded
         if not self._flows:
             return
-        if not self._csr_valid:
-            flows = list(self._flows.values())
-            path_rows = self._path_rows
-            flow_ptr = [0]
-            flow_rows: List[int] = []
-            for flow in flows:
-                flow_rows.extend(path_rows[flow.flow_id])
-                flow_ptr.append(len(flow_rows))
-            self._ensure_native_buffers(len(flows), len(flow_rows))
-            self._ptr_buf[: len(flow_ptr)] = flow_ptr
-            self._rows_buf[: len(flow_rows)] = flow_rows
-            self._csr_flows = flows
-            self._csr_valid = True
+        if not self._csr_valid or self._csr_inactive:
+            # The one-shot entry point has no active mask, so retired CSR
+            # entries must be compacted away first.
+            self._rebuild_csr()
         flows = self._csr_flows
         if self._cap_ptr is None:
             self._cap_ptr = ffi.cast("const double *", ffi.from_buffer(self._cap_arr))
-        lib.waterfill(
+        status = lib.waterfill(
             len(flows),
             len(self._link_ids),
             self._ptr_ptr,
@@ -426,6 +692,9 @@ class FluidNetwork:
             self._cap_ptr,
             self._rates_ptr,
         )
+        if status != 0:
+            self._native_oom_fallback("waterfill")
+            return
         for flow, rate in zip(flows, self._rates_buf[: len(flows)].tolist()):
             flow.rate = rate
 
@@ -515,9 +784,311 @@ class FluidNetwork:
                 del self._flows[flow.flow_id]
                 if not scalar:
                     self._forget_flow(flow)
+                self._release_group(flow.flow_id)
         if finished:
             self._rates_dirty = True
         return finished
+
+    def advance_through(
+        self,
+        now: float,
+        budget: Optional[float] = None,
+        max_steps: int = 5_000_000,
+    ) -> "FlowAdvanceOutcome":
+        """Run the solve → next-completion → advance loop to the next stop.
+
+        Convenience wrapper over :func:`service_advance_requests` for a single
+        network; see :class:`FlowAdvanceRequest` for the stop conditions.
+        """
+        return service_advance_requests(
+            [FlowAdvanceRequest(self, now, budget, max_steps)]
+        )[0]
+
+
+# --------------------------------------------------------------- folded advance
+@dataclass
+class FlowAdvanceRequest:
+    """One network's slice of a folded advance (see DESIGN.md §6).
+
+    Asks for the network to be advanced from ``now`` through consecutive flow
+    completions until one of the stop conditions of :class:`FlowAdvanceOutcome`
+    is reached.  ``budget`` is the absolute time of the next timed event
+    (``None`` when none is pending): the loop stops *before* consuming a
+    completion at or past it, because timed events win ties in the executor.
+    """
+
+    network: FluidNetwork
+    now: float
+    budget: Optional[float] = None
+    max_steps: int = 5_000_000
+
+
+@dataclass
+class FlowAdvanceOutcome:
+    """What happened to one network during a folded advance.
+
+    Attributes:
+        now: Simulated time after the last consumed completion.
+        finished: Flows that completed, in completion (then flow) order.
+        next_flow: Absolute time of the first unconsumed completion when the
+            stop reason is ``"budget"``; ``None`` otherwise.
+        steps: Flow-completion events consumed.
+        reason: ``"budget"`` (next completion at/after the budget),
+            ``"group"`` (a flow group drained — its owner needs Python),
+            ``"stall"`` (flows exist but none can progress),
+            ``"steps"`` (``max_steps`` exhausted), or ``"idle"`` (no flows).
+    """
+
+    now: float
+    finished: List[Flow]
+    next_flow: Optional[float]
+    steps: int
+    reason: str
+
+
+#: waterfill_batch stop codes, in C enum order (WF_STOP_*).
+_STOP_REASONS = ("budget", "group", "stall", "steps")
+
+
+def service_advance_requests(
+    requests: Sequence[FlowAdvanceRequest],
+) -> List[FlowAdvanceOutcome]:
+    """Advance many fluid networks at once — the folded execution core.
+
+    Networks backed by the native solver are stacked into one block-diagonal
+    CSR and advanced by a single ``waterfill_batch`` call (no Python between
+    their flow events); the rest run an equivalent per-network Python loop.
+    Blocks are independent (no shared links), so batch results are
+    bit-identical to advancing each network alone.
+    """
+    outcomes: List[Optional[FlowAdvanceOutcome]] = [None] * len(requests)
+    native_indices: List[int] = []
+    for index, request in enumerate(requests):
+        network = request.network
+        if not network._flows:
+            outcomes[index] = FlowAdvanceOutcome(request.now, [], None, 0, "idle")
+        elif network._native_ready():
+            native_indices.append(index)
+        else:
+            outcomes[index] = _advance_python(request)
+    if native_indices:
+        batch = _advance_native_batch([requests[i] for i in native_indices])
+        if batch is None:
+            # Kernel scratch OOM (already warned): nothing was touched, so the
+            # Python loop can service each request from the same state.
+            batch = [_advance_python(requests[i]) for i in native_indices]
+        for index, outcome in zip(native_indices, batch):
+            outcomes[index] = outcome
+    return outcomes  # type: ignore[return-value]
+
+
+def _advance_python(request: FlowAdvanceRequest) -> FlowAdvanceOutcome:
+    """Reference implementation of one folded advance, via the public
+    per-event primitives (so it works with every solver)."""
+    network = request.network
+    now = request.now
+    finished: List[Flow] = []
+    steps = 0
+    while True:
+        dt = network.time_to_next_completion()
+        if dt is None:
+            reason = "stall" if network._flows else "idle"
+            return FlowAdvanceOutcome(now, finished, None, steps, reason)
+        at = now + dt
+        if request.budget is not None and request.budget <= at:
+            return FlowAdvanceOutcome(now, finished, at, steps, "budget")
+        if steps >= request.max_steps:
+            return FlowAdvanceOutcome(now, finished, None, steps, "steps")
+        network._drained_groups.clear()
+        finished.extend(network.advance(dt))
+        now = at
+        steps += 1
+        if network._drained_groups:
+            return FlowAdvanceOutcome(now, finished, None, steps, "group")
+
+
+def _advance_native_batch(
+    requests: Sequence[FlowAdvanceRequest],
+) -> Optional[List[FlowAdvanceOutcome]]:
+    """Advance all requests with one ``waterfill_batch`` call.
+
+    Returns ``None`` (after warning) if the kernel reports scratch OOM; the
+    networks are untouched in that case.
+    """
+    lib, ffi = requests[0].network._native_loaded
+    num_blocks = len(requests)
+    block_flows = np.zeros(num_blocks + 1, dtype=np.int32)
+    block_rows = np.zeros(num_blocks + 1, dtype=np.int32)
+    ptr_parts: List[np.ndarray] = [np.zeros(1, dtype=np.int32)]
+    rows_parts: List[np.ndarray] = []
+    caps_parts: List[np.ndarray] = []
+    remaining_parts: List[np.ndarray] = []
+    threshold_parts: List[np.ndarray] = []
+    group_parts: List[np.ndarray] = []
+    group_left: List[int] = []
+    block_flow_lists: List[List[Flow]] = []
+    flow_base = row_base = nnz_base = 0
+    active_parts: List[np.ndarray] = []
+    for index, request in enumerate(requests):
+        network = request.network
+        if network._capacity_dirty:
+            network._refresh_capacities()
+        if (
+            not network._csr_valid
+            or 2 * network._csr_inactive > len(network._csr_flows)
+        ):
+            network._rebuild_csr()
+        flows = network._csr_flows
+        num_flows = len(flows)
+        nnz = int(network._ptr_buf[num_flows])
+        ptr_parts.append(network._ptr_buf[1 : num_flows + 1] + nnz_base)
+        rows_parts.append(network._rows_buf[:nnz] + row_base)
+        caps_parts.append(network._cap_arr)
+        remaining_parts.append(
+            np.fromiter(
+                (flow.remaining_bytes for flow in flows), np.float64, num_flows
+            )
+        )
+        threshold_parts.append(network._thr_buf[:num_flows])
+        active_parts.append(network._active_buf[:num_flows])
+        if network._grp_keys:
+            slot_base = len(group_left)
+            network_left = network._group_left
+            # A key can be gone from _group_left once its group drained; its
+            # flows are all inactive then, so the kernel never consults the
+            # placeholder count.
+            group_left.extend(network_left.get(key, 0) for key in network._grp_keys)
+            grp_buf = network._grp_buf
+            groups = np.where(grp_buf >= 0, grp_buf + slot_base, grp_buf)
+        else:
+            groups = network._grp_buf
+        group_parts.append(groups)
+        block_flow_lists.append(flows)
+        flow_base += num_flows
+        row_base += len(network._link_ids)
+        nnz_base += nnz
+        block_flows[index + 1] = flow_base
+        block_rows[index + 1] = row_base
+
+    flow_ptr = np.ascontiguousarray(np.concatenate(ptr_parts), dtype=np.int32)
+    flow_rows = np.ascontiguousarray(
+        np.concatenate(rows_parts) if rows_parts else np.zeros(0), dtype=np.int32
+    )
+    caps = np.ascontiguousarray(np.concatenate(caps_parts), dtype=np.float64)
+    remaining = np.concatenate(remaining_parts)
+    threshold = np.concatenate(threshold_parts)
+    group_of = np.ascontiguousarray(np.concatenate(group_parts), dtype=np.int32)
+    group_left_arr = np.asarray(group_left or [0], dtype=np.int32)
+    now_arr = np.fromiter((r.now for r in requests), np.float64, num_blocks)
+    budget = np.fromiter(
+        (np.inf if r.budget is None else r.budget for r in requests),
+        np.float64,
+        num_blocks,
+    )
+    max_steps = np.fromiter((r.max_steps for r in requests), np.int32, num_blocks)
+    rates = np.zeros(flow_base)
+    active = np.ascontiguousarray(
+        np.concatenate(active_parts) if active_parts else np.zeros(0),
+        dtype=np.uint8,
+    )
+    finished = np.zeros(flow_base, dtype=np.int32)
+    finished_count = np.zeros(num_blocks, dtype=np.int32)
+    next_flow = np.zeros(num_blocks)
+    steps = np.zeros(num_blocks, dtype=np.int32)
+    stop_reason = np.zeros(num_blocks, dtype=np.int32)
+
+    def iptr(array: np.ndarray):
+        return ffi.cast("const int *", ffi.from_buffer(array))
+
+    status = lib.waterfill_batch(
+        num_blocks,
+        iptr(block_flows),
+        iptr(block_rows),
+        iptr(flow_ptr),
+        iptr(flow_rows),
+        ffi.cast("const double *", ffi.from_buffer(caps)),
+        ffi.cast("double *", ffi.from_buffer(remaining)),
+        ffi.cast("const double *", ffi.from_buffer(threshold)),
+        iptr(group_of),
+        ffi.cast("int *", ffi.from_buffer(group_left_arr)),
+        ffi.cast("double *", ffi.from_buffer(now_arr)),
+        ffi.cast("const double *", ffi.from_buffer(budget)),
+        ffi.cast("double *", ffi.from_buffer(rates)),
+        ffi.cast("unsigned char *", ffi.from_buffer(active)),
+        ffi.cast("int *", ffi.from_buffer(finished)),
+        ffi.cast("int *", ffi.from_buffer(finished_count)),
+        ffi.cast("double *", ffi.from_buffer(next_flow)),
+        ffi.cast("int *", ffi.from_buffer(steps)),
+        ffi.cast("int *", ffi.from_buffer(stop_reason)),
+        iptr(max_steps),
+    )
+    if status != 0:
+        warnings.warn(
+            "native fluid kernel (waterfill_batch) could not allocate scratch "
+            "memory; falling back to the Python advance loop",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+
+    outcomes: List[FlowAdvanceOutcome] = []
+    for index in range(num_blocks):
+        network = requests[index].network
+        flows = block_flow_lists[index]
+        base = int(block_flows[index])
+        count = len(flows)
+        rate_list = rates[base : base + count].tolist()
+        remaining_list = remaining[base : base + count].tolist()
+        for flow, rate, left in zip(flows, rate_list, remaining_list):
+            flow.rate = rate
+            flow.remaining_bytes = left
+        done: List[Flow] = []
+        retired = int(finished_count[index])
+        if retired:
+            # Retired flows keep their CSR positions (masked inactive) so
+            # the block's layout survives into the next round without a
+            # rebuild; _path_rows upkeep is what _forget_flow would do (the
+            # native solver never maintains the row->flows lists).
+            network._active_buf[:count] = active[base : base + count]
+            network._csr_inactive += retired
+            network_flows = network._flows
+            path_rows = network._path_rows
+            flow_group = network._flow_group
+            group_left_map = network._group_left
+            for slot in range(retired):
+                flow = flows[int(finished[base + slot]) - base]
+                done.append(flow)
+                flow_id = flow.flow_id
+                del network_flows[flow_id]
+                path_rows.pop(flow_id)
+                # Inline _release_group: this loop retires every flow of the
+                # run on the folded path.
+                group = flow_group.pop(flow_id, None)
+                if group is not None:
+                    left = group_left_map[group] - 1
+                    if left:
+                        group_left_map[group] = left
+                    else:
+                        del group_left_map[group]
+                        network._drained_groups.add(group)
+        reason = _STOP_REASONS[int(stop_reason[index])]
+        if reason == "stall" and not network._flows:
+            reason = "idle"
+        # After a budget/stall stop the last solve covered exactly the
+        # surviving flow set, so its rates can be reused (e.g. by the timed
+        # branch's advance()); after a group/steps stop the flow set changed.
+        network._rates_dirty = reason not in ("budget", "stall")
+        first_unconsumed = float(next_flow[index])
+        outcomes.append(
+            FlowAdvanceOutcome(
+                now=float(now_arr[index]),
+                finished=done,
+                next_flow=None if first_unconsumed == np.inf else first_unconsumed,
+                steps=int(steps[index]),
+                reason=reason,
+            )
+        )
+    return outcomes
 
 
 def total_path_bytes(flows: Iterable[Flow]) -> Dict[str, float]:

@@ -29,17 +29,30 @@ from repro.sweep.registry import (
     resolve_model,
 )
 from repro.sweep.spec import CONFIG_SCHEMA_VERSION, SweepConfig, SweepSpec
-from repro.sweep.runner import SweepResult, SweepRunner, run_case, run_config
+from repro.sweep.runner import (
+    FoldedSweepRunner,
+    SweepError,
+    SweepResult,
+    SweepRunError,
+    SweepRunner,
+    iter_run_config,
+    run_case,
+    run_config,
+)
 
 __all__ = [
     "CONFIG_SCHEMA_VERSION",
     "FABRIC_BUILDERS",
+    "FoldedSweepRunner",
     "SWEEP_MODELS",
     "SweepConfig",
+    "SweepError",
     "SweepResult",
+    "SweepRunError",
     "SweepRunner",
     "SweepSpec",
     "build_fabric",
+    "iter_run_config",
     "parse_failure",
     "resolve_model",
     "run_case",

@@ -24,7 +24,7 @@ from repro.core.reconfigure import ENGINES
 from repro.core.runtime import FIRST_A2A_POLICIES
 from repro.sim.flows import SOLVERS
 from repro.sweep.registry import FABRIC_BUILDERS, SWEEP_MODELS
-from repro.sweep.runner import SweepRunner
+from repro.sweep.runner import FoldedSweepRunner, SweepRunner
 from repro.sweep.spec import SweepSpec
 
 
@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="synthetic-traffic seeds")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (0/1 = run inline)")
+    parser.add_argument("--folded", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="run structurally-compatible configs folded "
+                             "through one batched solve/advance loop "
+                             "(default: folded when running inline, unfolded "
+                             "with --workers > 1; results are identical)")
     parser.add_argument("--cache-dir", default=None,
                         help="cache per-config results here, keyed by config hash")
     parser.add_argument("--solver", choices=list(SOLVERS), default=None,
@@ -115,12 +121,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{len(configs)} configuration(s)", file=sys.stderr)
         return 0
 
-    runner = SweepRunner(
-        configs,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        solver=args.solver,
-    )
+    folded = args.folded if args.folded is not None else args.workers <= 1
+    if folded:
+        runner = FoldedSweepRunner(
+            configs,
+            cache_dir=args.cache_dir,
+            solver=args.solver,
+        )
+    else:
+        runner = SweepRunner(
+            configs,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            solver=args.solver,
+        )
     results = runner.run()
 
     if args.output:

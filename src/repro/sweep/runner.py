@@ -15,13 +15,14 @@ import multiprocessing
 import os
 import time
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.spec import ClusterSpec
 from repro.core.runtime import IterationResult, RuntimeOptions, TrainingSimulator
 from repro.fabric.base import Fabric
 from repro.moe.models import MoEModelConfig
 from repro.moe.trace import IterationRecord
+from repro.sim.flows import service_advance_requests
 from repro.sweep.registry import build_fabric, parse_failure, resolve_model
 from repro.sweep.spec import SweepConfig, SweepSpec
 
@@ -68,11 +69,15 @@ class SweepResult:
 
     @classmethod
     def from_iteration(
-        cls, config: SweepConfig, result: IterationResult, wall_time_s: float
+        cls,
+        config: SweepConfig,
+        result: IterationResult,
+        wall_time_s: float,
+        config_hash: Optional[str] = None,
     ) -> "SweepResult":
         return cls(
             config=config.to_dict(),
-            config_hash=config.config_hash(),
+            config_hash=config_hash or config.config_hash(),
             fabric=result.fabric,
             model=result.model,
             iteration_time_s=result.iteration_time_s,
@@ -97,11 +102,12 @@ class SweepResult:
         return cls(**payload)
 
 
-def run_config(config: SweepConfig, solver: Optional[str] = None) -> SweepResult:
-    """Materialise one configuration and simulate it."""
+def _materialise(
+    config: SweepConfig, solver: Optional[str]
+) -> Tuple[MoEModelConfig, ClusterSpec, Fabric, RuntimeOptions]:
+    """Registry names -> concrete model/cluster/fabric/options for one config."""
     from repro.cluster import simulation_cluster
 
-    start = time.perf_counter()
     model = resolve_model(config.model)
     cluster = simulation_cluster(
         config.num_servers,
@@ -121,6 +127,17 @@ def run_config(config: SweepConfig, solver: Optional[str] = None) -> SweepResult
         fluid_solver=solver,
         reconfig_engine=engine,
     )
+    return model, cluster, fabric, options
+
+
+def run_config(
+    config: SweepConfig,
+    solver: Optional[str] = None,
+    config_hash: Optional[str] = None,
+) -> SweepResult:
+    """Materialise one configuration and simulate it."""
+    start = time.perf_counter()
+    model, cluster, fabric, options = _materialise(config, solver)
     result = run_case(
         model,
         fabric,
@@ -128,13 +145,80 @@ def run_config(config: SweepConfig, solver: Optional[str] = None) -> SweepResult
         failure=parse_failure(config.failure),
         cluster=cluster,
     )
-    return SweepResult.from_iteration(config, result, time.perf_counter() - start)
+    return SweepResult.from_iteration(
+        config, result, time.perf_counter() - start, config_hash=config_hash
+    )
 
 
-def _worker(payload: Tuple[Dict[str, object], Optional[str]]) -> Dict[str, object]:
-    """Pool entry point (module-level so it pickles)."""
-    config_dict, solver = payload
-    return run_config(SweepConfig.from_dict(config_dict), solver=solver).to_dict()
+def iter_run_config(
+    config: SweepConfig,
+    solver: Optional[str] = None,
+    config_hash: Optional[str] = None,
+):
+    """Generator form of :func:`run_config` for folded execution.
+
+    Yields :class:`~repro.sim.flows.FlowAdvanceRequest` objects (see
+    :meth:`repro.sim.executor.Executor.iter_run`) and returns the
+    :class:`SweepResult` as the generator's value.
+    """
+    start = time.perf_counter()
+    model, cluster, fabric, options = _materialise(config, solver)
+    simulator = TrainingSimulator(model, cluster, fabric, options=options)
+    result = yield from simulator.iter_simulation(
+        failure=parse_failure(config.failure)
+    )
+    return SweepResult.from_iteration(
+        config, result, time.perf_counter() - start, config_hash=config_hash
+    )
+
+
+def _worker(
+    payload: Tuple[int, Dict[str, object], str, Optional[str]]
+) -> Tuple[int, Dict[str, object]]:
+    """Pool entry point (module-level so it pickles).
+
+    Failures are returned as tagged payloads rather than raised, so one bad
+    configuration cannot tear down the whole ``imap_unordered`` stream.
+    """
+    index, config_dict, config_hash, solver = payload
+    try:
+        config = SweepConfig.from_dict(config_dict)
+        result = run_config(config, solver=solver, config_hash=config_hash)
+        return index, result.to_dict()
+    except Exception as exc:  # noqa: BLE001 — structured error record
+        return index, {
+            "__error__": f"{type(exc).__name__}: {exc}",
+            "config": config_dict,
+            "config_hash": config_hash,
+        }
+
+
+@dataclass
+class SweepError:
+    """Structured record of one configuration that failed to simulate."""
+
+    config: Dict[str, object]
+    config_hash: str
+    error: str
+
+
+class SweepRunError(RuntimeError):
+    """One or more configurations failed.
+
+    Raised after the run drains: every configuration that *did* complete has
+    already been written through to the cache, so a rerun only repeats the
+    failures.  ``errors`` holds one :class:`SweepError` per failure.
+    """
+
+    def __init__(self, errors: Sequence[SweepError]) -> None:
+        self.errors = list(errors)
+        summary = "; ".join(
+            f"{error.config_hash}: {error.error}" for error in self.errors
+        )
+        super().__init__(
+            f"{len(self.errors)} sweep configuration(s) failed "
+            f"(completed results were cached): {summary}"
+        )
 
 
 class SweepRunner:
@@ -167,19 +251,19 @@ class SweepRunner:
         self.solver = solver
 
     # ----------------------------------------------------------------- cache
-    def _cache_path(self, config: SweepConfig) -> Optional[str]:
+    def _cache_path(self, config_hash: str) -> Optional[str]:
         if self.cache_dir is None:
             return None
-        return os.path.join(self.cache_dir, f"{config.config_hash()}.json")
+        return os.path.join(self.cache_dir, f"{config_hash}.json")
 
-    def _cache_load(self, config: SweepConfig) -> Optional[SweepResult]:
-        path = self._cache_path(config)
+    def _cache_load(self, config_hash: str) -> Optional[SweepResult]:
+        path = self._cache_path(config_hash)
         if path is None or not os.path.exists(path):
             return None
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            if payload.get("config_hash") != config.config_hash():
+            if payload.get("config_hash") != config_hash:
                 return None
             result = SweepResult.from_dict(payload)
         except (OSError, ValueError, TypeError, AttributeError, KeyError):
@@ -201,35 +285,181 @@ class SweepRunner:
 
     # ------------------------------------------------------------------- run
     def run(self) -> List[SweepResult]:
-        """Execute the sweep; results are ordered like the configurations."""
+        """Execute the sweep; results are ordered like the configurations.
+
+        Raises:
+            SweepRunError: If any configuration failed.  Raised only after
+                every other configuration has run (and been cached), so a
+                rerun repeats just the failures.
+        """
+        # The content hash is the cache key three times over (path, stale
+        # check, store); compute it once per config per run.
+        hashes = [config.config_hash() for config in self.configs]
         results: List[Optional[SweepResult]] = [None] * len(self.configs)
         misses: List[int] = []
-        for index, config in enumerate(self.configs):
-            cached = self._cache_load(config)
+        for index, config_hash in enumerate(hashes):
+            cached = self._cache_load(config_hash)
             if cached is not None:
                 results[index] = cached
             else:
                 misses.append(index)
 
         if misses:
-            fresh: Iterable[SweepResult]
-            if self.workers <= 1:
-                fresh = (
-                    run_config(self.configs[index], solver=self.solver)
-                    for index in misses
-                )
-            else:
-                payloads = [
-                    (self.configs[index].to_dict(), self.solver) for index in misses
-                ]
-                with multiprocessing.Pool(processes=self.workers) as pool:
-                    fresh = [
-                        SweepResult.from_dict(payload)
-                        for payload in pool.map(_worker, payloads)
-                    ]
-            for index, result in zip(misses, fresh):
-                self._cache_store(result)
-                results[index] = result
+            errors = self._run_misses(misses, hashes, results)
+            if errors:
+                raise SweepRunError(errors)
 
         assert all(result is not None for result in results)
         return [result for result in results if result is not None]
+
+    def _run_misses(
+        self,
+        misses: List[int],
+        hashes: List[str],
+        results: List[Optional[SweepResult]],
+    ) -> List[SweepError]:
+        """Simulate the cache misses in place; return per-config failures."""
+        if self.workers <= 1:
+            for index in misses:
+                result = run_config(
+                    self.configs[index],
+                    solver=self.solver,
+                    config_hash=hashes[index],
+                )
+                self._cache_store(result)
+                results[index] = result
+            return []
+        errors: Dict[int, SweepError] = {}
+        payloads = [
+            (index, self.configs[index].to_dict(), hashes[index], self.solver)
+            for index in misses
+        ]
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            # imap_unordered + write-through: every result is cached the
+            # moment it arrives, so a crash later in the run (e.g. a worker
+            # OOM-killed on a big grid) cannot lose completed work.
+            for index, payload in pool.imap_unordered(_worker, payloads):
+                if "__error__" in payload:
+                    errors[index] = SweepError(
+                        config=payload["config"],
+                        config_hash=payload["config_hash"],
+                        error=payload["__error__"],
+                    )
+                    continue
+                result = SweepResult.from_dict(payload)
+                self._cache_store(result)
+                results[index] = result
+        return [errors[index] for index in sorted(errors)]
+
+
+class FoldedSweepRunner(SweepRunner):
+    """Folded sweep execution (DESIGN.md §6): structurally-compatible
+    configurations advance through one batched solve → next-completion →
+    advance loop.
+
+    Cache misses are grouped by :meth:`SweepConfig.structural_key`; each
+    group's simulations run as :func:`iter_run_config` generators serviced in
+    lockstep by :func:`repro.sim.flows.service_advance_requests`, so a single
+    ``waterfill_batch`` call carries every member's flow events between
+    Python-side task events.  Results are bit-identical to the unfolded
+    runner: each configuration's network is an independent block of the
+    batched CSR, and the C loop replays the executor's event loop exactly.
+
+    A configuration whose generator raises falls back to the unfolded
+    per-config path; only if that also fails is a :class:`SweepError`
+    recorded (and raised as :class:`SweepRunError` after the rest complete).
+
+    Args:
+        sweep: Spec or explicit config list, as for :class:`SweepRunner`.
+        fold_width: Maximum configurations folded into one batch.
+        cache_dir: Per-config result cache, as for :class:`SweepRunner`.
+        solver: Fluid-solver override; the native kernel folds in C, other
+            solvers fold through an equivalent per-network Python loop.
+    """
+
+    def __init__(
+        self,
+        sweep: Union[SweepSpec, Sequence[SweepConfig]],
+        fold_width: int = 16,
+        cache_dir: Optional[str] = None,
+        solver: Optional[str] = None,
+    ) -> None:
+        super().__init__(sweep, workers=0, cache_dir=cache_dir, solver=solver)
+        if fold_width < 1:
+            raise ValueError("fold_width must be positive")
+        self.fold_width = fold_width
+
+    def _run_misses(
+        self,
+        misses: List[int],
+        hashes: List[str],
+        results: List[Optional[SweepResult]],
+    ) -> List[SweepError]:
+        errors: Dict[int, SweepError] = {}
+        groups: Dict[tuple, List[int]] = {}
+        for index in misses:
+            key = self.configs[index].structural_key()
+            groups.setdefault(key, []).append(index)
+        # Admission order: structurally-compatible configs march together, so
+        # batches stay regular; fold_width caps how many simulations are live
+        # (and hold memory) at once.  Every live generator — regardless of
+        # group — is serviced by the same batched advance each round.
+        pending = iter([index for indices in groups.values() for index in indices])
+        live: List[Tuple[int, object, object]] = []
+
+        def admit() -> None:
+            while len(live) < self.fold_width:
+                index = next(pending, None)
+                if index is None:
+                    return
+                try:
+                    generator = iter_run_config(
+                        self.configs[index],
+                        solver=self.solver,
+                        config_hash=hashes[index],
+                    )
+                except Exception:  # noqa: BLE001 — straggler leaves the fold
+                    self._run_unfolded(index, hashes, results, errors)
+                    continue
+                self._step(index, generator, None, live, hashes, results, errors)
+
+        admit()
+        while live:
+            outcomes = service_advance_requests([entry[2] for entry in live])
+            stepping, live = live, []
+            for (index, generator, _), outcome in zip(stepping, outcomes):
+                self._step(index, generator, outcome, live, hashes, results, errors)
+            admit()
+        return [errors[index] for index in sorted(errors)]
+
+    def _step(self, index, generator, outcome, live, hashes, results, errors):
+        try:
+            if outcome is None:
+                request = next(generator)
+            else:
+                request = generator.send(outcome)
+        except StopIteration as stop:
+            result = stop.value
+            self._cache_store(result)
+            results[index] = result
+        except Exception:  # noqa: BLE001 — straggler leaves the fold
+            self._run_unfolded(index, hashes, results, errors)
+        else:
+            live.append((index, generator, request))
+
+    def _run_unfolded(self, index, hashes, results, errors):
+        """Per-config fallback for stragglers that cannot run folded."""
+        config = self.configs[index]
+        try:
+            result = run_config(
+                config, solver=self.solver, config_hash=hashes[index]
+            )
+        except Exception as exc:  # noqa: BLE001 — structured error record
+            errors[index] = SweepError(
+                config=config.to_dict(),
+                config_hash=hashes[index],
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        else:
+            self._cache_store(result)
+            results[index] = result

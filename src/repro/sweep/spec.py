@@ -12,7 +12,7 @@ import hashlib
 import json
 import itertools
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.reconfigure import resolve_engine
 from repro.core.runtime import FIRST_A2A_POLICIES
@@ -80,6 +80,25 @@ class SweepConfig:
             separators=(",", ":"),
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+    def structural_key(self) -> Tuple[object, ...]:
+        """Hashable signature of what shapes the task DAG and flow graph.
+
+        Configurations sharing a key build structurally-compatible
+        simulations — same fabric shape, model, policy and failure scenario —
+        and can therefore be folded into one block-diagonal batch
+        (:class:`repro.sweep.runner.FoldedSweepRunner`).  The remaining axes
+        (bandwidths, seeds, delays, reconfiguration engines) only change link
+        capacities, flow sizes and task durations, which fold freely.
+        """
+        return (
+            self.fabric,
+            self.model,
+            self.first_a2a_policy,
+            self.failure,
+            self.num_servers,
+            self.ocs_nics,
+        )
 
 
 @dataclass

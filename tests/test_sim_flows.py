@@ -139,3 +139,132 @@ class TestHelpers:
         flows = [Flow("f1", 10.0, ["a", "c"]), Flow("f2", 5.0, ["a"])]
         usage = total_path_bytes(flows)
         assert usage == {"a": 15.0, "c": 10.0}
+
+
+class TestDenseRoundBoundary:
+    """Cross-solver differential at the heap->dense switchover.
+
+    The vectorized solver drives the bottleneck sequence with a share heap
+    below DENSE_ROUND_THRESHOLD active flows and with dense numpy
+    water-filling rounds at or above it; 511/512/513 flows straddle the
+    switch, so all three regimes must agree with the scalar reference (and
+    the native kernel, when compiled) on every rate.
+    """
+
+    @staticmethod
+    def build_network(solver, num_flows):
+        import random
+
+        rng = random.Random(1234)
+        region = RegionNetwork(servers=[0])
+        num_links = 48
+        link_ids = [f"l{i}" for i in range(num_links)]
+        for link_id in link_ids:
+            region.add_link(link_id, capacity_gbps=rng.choice([4.0, 8.0, 16.0]))
+        net = FluidNetwork(region, solver=solver)
+        for i in range(num_flows):
+            hops = rng.sample(link_ids, rng.randint(1, 3))
+            net.add_flow(Flow(f"f{i}", 1e6 * rng.randint(1, 50), hops))
+        return net
+
+    @pytest.mark.parametrize("num_flows", [511, 512, 513])
+    def test_solvers_agree_at_boundary(self, num_flows):
+        from repro.sim._native import native_available
+        from repro.sim.flows import DENSE_ROUND_THRESHOLD
+
+        assert DENSE_ROUND_THRESHOLD == 512  # the boundary this test straddles
+        reference = self.build_network("scalar", num_flows)
+        reference.compute_rates()
+        solvers = ["vectorized"] + (["native"] if native_available() else [])
+        for solver in solvers:
+            candidate = self.build_network(solver, num_flows)
+            candidate.compute_rates()
+            for flow_id, ref_flow in reference.flows.items():
+                rate = candidate.flows[flow_id].rate
+                assert rate == pytest.approx(ref_flow.rate, rel=1e-9), (
+                    solver, flow_id, num_flows,
+                )
+
+    @pytest.mark.parametrize("num_flows", [511, 513])
+    def test_advance_matches_across_boundary(self, num_flows):
+        """One completion step keeps the solvers in lockstep as retirements
+        cross the threshold from either side."""
+        reference = self.build_network("scalar", num_flows)
+        candidate = self.build_network("vectorized", num_flows)
+        for _ in range(3):
+            dt_ref = reference.time_to_next_completion()
+            dt_new = candidate.time_to_next_completion()
+            assert dt_new == pytest.approx(dt_ref, rel=1e-9)
+            done_ref = [f.flow_id for f in reference.advance(dt_ref)]
+            done_new = [f.flow_id for f in candidate.advance(dt_new)]
+            assert done_ref == done_new
+
+
+class TestNativeOOMFallback:
+    """WF_OOM must surface as a warning + Python fallback, never as silent
+    all-zero rates (which used to reappear later as a bogus executor
+    "deadlock" RuntimeError)."""
+
+    class _OOMLib:
+        """Proxies the real kernel but reports scratch OOM from every entry."""
+
+        def __init__(self, real):
+            self._real = real
+
+        def __getattr__(self, name):
+            return getattr(self._real, name)
+
+        def waterfill(self, *args):
+            return 1  # WF_OOM
+
+        def waterfill_batch(self, *args):
+            return 1  # WF_OOM
+
+    @staticmethod
+    def _native_network():
+        from repro.sim._native import native_available
+
+        if not native_available():
+            pytest.skip("native kernel unavailable")
+        net = FluidNetwork(make_region(), solver="native")
+        assert net._native_ready()
+        return net
+
+    def test_solve_falls_back_with_warning(self):
+        net = self._native_network()
+        lib, ffi = net._native_loaded
+        net._native_loaded = (self._OOMLib(lib), ffi)
+        net.add_flow(Flow("f1", 1e9, ["a"]))
+        net.add_flow(Flow("f2", 1e9, ["a"]))
+        with pytest.warns(RuntimeWarning, match="could not allocate scratch"):
+            net.compute_rates()
+        # Correct rates from the Python solver, and the network is demoted so
+        # the failing allocation is not retried every solve.
+        assert net.flows["f1"].rate == pytest.approx(0.5e9)
+        assert net.flows["f2"].rate == pytest.approx(0.5e9)
+        assert net.solver == "vectorized"
+
+    def test_batched_advance_falls_back_with_warning(self):
+        from repro.sim.flows import FlowAdvanceRequest, service_advance_requests
+
+        reference = self._native_network()
+        reference.add_flow(Flow("f1", 1e9, ["a"]))
+        reference.add_flow(Flow("f2", 2e9, ["b"]))
+        expected = service_advance_requests(
+            [FlowAdvanceRequest(reference, now=0.0, budget=None)]
+        )[0]
+
+        net = self._native_network()
+        lib, ffi = net._native_loaded
+        net._native_loaded = (self._OOMLib(lib), ffi)
+        net.add_flow(Flow("f1", 1e9, ["a"]))
+        net.add_flow(Flow("f2", 2e9, ["b"]))
+        with pytest.warns(RuntimeWarning, match="could not allocate scratch"):
+            outcome = service_advance_requests(
+                [FlowAdvanceRequest(net, now=0.0, budget=None)]
+            )[0]
+        assert outcome.now == pytest.approx(expected.now, rel=1e-12)
+        assert outcome.reason == expected.reason
+        assert [f.flow_id for f in outcome.finished] == [
+            f.flow_id for f in expected.finished
+        ]
