@@ -17,6 +17,7 @@ required, and nothing is downloaded.
 
 from __future__ import annotations
 
+import contextlib
 import glob
 import hashlib
 import importlib.util
@@ -41,6 +42,58 @@ C_SOURCE = r"""
 #define WF_STOP_STALL  2  /* no active flow can make progress */
 #define WF_STOP_STEPS  3  /* step budget exhausted (executor event guard) */
 
+/* Progressive water-filling rounds over prepared bookkeeping.
+ *
+ * counts/residual are consumed in place; row_ptr/row_flows bucket each
+ * row's flows and may contain inactive entries (they are skipped, which
+ * preserves the relative order of the active ones).  `remaining` is the
+ * number of unfrozen active flows.  Each round scans for the carrying row
+ * with the smallest residual fair share (first row wins ties, matching the
+ * reference's registration-order scan), freezes every unfrozen flow
+ * crossing it at that share, and retires the frozen flows' contributions.
+ */
+static void waterfill_rounds(int f0, int num_flows, int row0, int num_rows,
+                             const int *flow_ptr, const int *flow_rows,
+                             const unsigned char *active, double *rates,
+                             double *residual, int *counts,
+                             const int *row_ptr, const int *row_flows,
+                             unsigned char *frozen, int remaining)
+{
+    while (remaining > 0) {
+        int best = -1;
+        double best_share = 0.0;
+        for (int r = 0; r < num_rows; r++) {
+            if (counts[r] <= 0) continue;
+            double share = residual[r] / counts[r];
+            if (best < 0 || share < best_share) { best = r; best_share = share; }
+        }
+        if (best < 0) {
+            /* No remaining constraints: unconstrained flows get "infinite"
+             * rate; in practice every path has at least one finite link. */
+            for (int f = f0; f < f0 + num_flows; f++) {
+                if (active && !active[f]) continue;
+                if (!frozen[f - f0]) rates[f] = INFINITY;
+            }
+            break;
+        }
+        double share = best_share > 0.0 ? best_share : 0.0;
+        for (int k = row_ptr[best]; k < row_ptr[best + 1]; k++) {
+            int f = row_flows[k];
+            if (active && !active[f]) continue;
+            if (frozen[f - f0]) continue;
+            frozen[f - f0] = 1;
+            rates[f] = share;
+            remaining--;
+            for (int j = flow_ptr[f]; j < flow_ptr[f + 1]; j++) {
+                int r = flow_rows[j] - row0;
+                double v = residual[r] - share;
+                residual[r] = v > 0.0 ? v : 0.0;
+                counts[r]--;
+            }
+        }
+    }
+}
+
 /* Exact max-min progressive water-filling over one block, honouring an
  * optional per-flow active mask (NULL means all active).
  *
@@ -51,11 +104,10 @@ C_SOURCE = r"""
  * max-min fair rate.  All arrays are indexed with *global* flow ids in
  * [f0, f0+num_flows) so batch callers can pass shared buffers.
  *
- * Each round scans for the carrying row with the smallest residual fair
- * share (first row wins ties, matching the reference's registration-order
- * scan), freezes every unfrozen flow crossing it at that share, and retires
- * the frozen flows' contributions.  Scratch buffers are caller-provided so
- * the batch loop allocates exactly once per call.
+ * Rebuilds the per-row bookkeeping (counts, buckets, residual) from the
+ * active flow set on every call; the warm-start path in waterfill_batch
+ * maintains the same bookkeeping incrementally instead.  Scratch buffers
+ * are caller-provided so the batch loop allocates exactly once per call.
  */
 static void solve_block(int f0, int num_flows, int row0, int num_rows,
                         const int *flow_ptr, const int *flow_rows,
@@ -86,39 +138,9 @@ static void solve_block(int f0, int num_flows, int row0, int num_rows,
         }
     }
     memcpy(residual, caps + row0, (size_t)num_rows * sizeof(double));
-
-    while (remaining > 0) {
-        int best = -1;
-        double best_share = 0.0;
-        for (int r = 0; r < num_rows; r++) {
-            if (counts[r] <= 0) continue;
-            double share = residual[r] / counts[r];
-            if (best < 0 || share < best_share) { best = r; best_share = share; }
-        }
-        if (best < 0) {
-            /* No remaining constraints: unconstrained flows get "infinite"
-             * rate; in practice every path has at least one finite link. */
-            for (int f = f0; f < f0 + num_flows; f++) {
-                if (active && !active[f]) continue;
-                if (!frozen[f - f0]) rates[f] = INFINITY;
-            }
-            break;
-        }
-        double share = best_share > 0.0 ? best_share : 0.0;
-        for (int k = row_ptr[best]; k < row_ptr[best + 1]; k++) {
-            int f = row_flows[k];
-            if (frozen[f - f0]) continue;
-            frozen[f - f0] = 1;
-            rates[f] = share;
-            remaining--;
-            for (int j = flow_ptr[f]; j < flow_ptr[f + 1]; j++) {
-                int r = flow_rows[j] - row0;
-                double v = residual[r] - share;
-                residual[r] = v > 0.0 ? v : 0.0;
-                counts[r]--;
-            }
-        }
-    }
+    waterfill_rounds(f0, num_flows, row0, num_rows, flow_ptr, flow_rows,
+                     active, rates, residual, counts, row_ptr, row_flows,
+                     frozen, remaining);
 }
 
 /* One-shot solve (the per-event path).  Returns WF_OOM when scratch memory
@@ -170,6 +192,15 @@ done:
  * block at offsets block_flows[b]; finished_count[b], now[b], next_flow[b],
  * steps[b] and stop_reason[b] report each block's outcome.  Returns WF_OOM
  * (without touching any block) when scratch allocation fails.
+ *
+ * warm_start != 0 selects the incremental mode: instead of rebuilding the
+ * per-row bookkeeping from scratch before every solve (O(nnz) per event),
+ * each block builds its buckets once over ALL of its flows, counts active
+ * traversals once, and then carries both across the solve -> advance loop —
+ * retiring a finished flow subtracts its path from the active counts.  The
+ * water-filling rounds consume an O(num_rows) memcpy of those counts, so
+ * they proceed over bit-identical state and produce bit-identical rates;
+ * only the per-event setup cost changes.
  */
 int waterfill_batch(int num_blocks,
                     const int *block_flows, const int *block_rows,
@@ -181,7 +212,7 @@ int waterfill_batch(int num_blocks,
                     double *rates, unsigned char *active,
                     int *finished, int *finished_count,
                     double *next_flow, int *steps, int *stop_reason,
-                    const int *max_steps)
+                    const int *max_steps, int warm_start)
 {
     int max_nf = 0, max_nr = 0, max_nnz = 0;
     for (int b = 0; b < num_blocks; b++) {
@@ -198,9 +229,11 @@ int waterfill_batch(int num_blocks,
     int *row_ptr = (int *)malloc(((size_t)max_nr + 1) * sizeof(int));
     int *row_flows = (int *)malloc((size_t)(max_nnz > 0 ? max_nnz : 1) * sizeof(int));
     int *fill = (int *)malloc((size_t)(max_nr > 0 ? max_nr : 1) * sizeof(int));
-    if (!residual || !counts || !frozen || !row_ptr || !row_flows || !fill) {
+    int *base_counts = (int *)malloc((size_t)(max_nr > 0 ? max_nr : 1) * sizeof(int));
+    if (!residual || !counts || !frozen || !row_ptr || !row_flows || !fill
+        || !base_counts) {
         free(residual); free(counts); free(frozen);
-        free(row_ptr); free(row_flows); free(fill);
+        free(row_ptr); free(row_flows); free(fill); free(base_counts);
         return WF_OOM;
     }
 
@@ -210,11 +243,53 @@ int waterfill_batch(int num_blocks,
         double t = now[b];
         int fcount = 0, st = 0;
         int reason = WF_STOP_STALL;
+        int active_n = 0;
         next_flow[b] = INFINITY;
+        if (warm_start) {
+            /* Persistent block bookkeeping: buckets over every flow (so
+             * retiring one never reshapes them — the rounds skip inactive
+             * entries, preserving active order) and active-only traversal
+             * counts, maintained incrementally as flows retire below. */
+            memset(counts, 0, (size_t)nr * sizeof(int));
+            memset(base_counts, 0, (size_t)nr * sizeof(int));
+            for (int f = f0; f < f1; f++) {
+                for (int k = flow_ptr[f]; k < flow_ptr[f + 1]; k++)
+                    counts[flow_rows[k] - row0]++;
+                if (!active[f]) continue;
+                active_n++;
+                for (int k = flow_ptr[f]; k < flow_ptr[f + 1]; k++)
+                    base_counts[flow_rows[k] - row0]++;
+            }
+            row_ptr[0] = 0;
+            for (int r = 0; r < nr; r++) row_ptr[r + 1] = row_ptr[r] + counts[r];
+            memset(fill, 0, (size_t)nr * sizeof(int));
+            for (int f = f0; f < f1; f++) {
+                for (int k = flow_ptr[f]; k < flow_ptr[f + 1]; k++) {
+                    int r = flow_rows[k] - row0;
+                    row_flows[row_ptr[r] + fill[r]++] = f;
+                }
+            }
+        }
         for (;;) {
-            solve_block(f0, f1 - f0, row0, nr, flow_ptr, flow_rows, caps,
-                        active, rates, residual, counts, row_ptr, row_flows,
-                        fill, frozen);
+            if (warm_start) {
+                if (active_n > 0) {
+                    memcpy(counts, base_counts, (size_t)nr * sizeof(int));
+                    memcpy(residual, caps + row0, (size_t)nr * sizeof(double));
+                    for (int f = f0; f < f1; f++) {
+                        if (!active[f]) continue;
+                        frozen[f - f0] = 0;
+                        rates[f] = 0.0;
+                    }
+                    waterfill_rounds(f0, f1 - f0, row0, nr, flow_ptr,
+                                     flow_rows, active, rates, residual,
+                                     counts, row_ptr, row_flows, frozen,
+                                     active_n);
+                }
+            } else {
+                solve_block(f0, f1 - f0, row0, nr, flow_ptr, flow_rows, caps,
+                            active, rates, residual, counts, row_ptr,
+                            row_flows, fill, frozen);
+            }
             /* Earliest completion: strict < keeps the first flow on exact
              * ties, like the Python dict scan. */
             int found = 0;
@@ -245,6 +320,11 @@ int waterfill_batch(int num_blocks,
                 if (remaining[f] <= threshold[f]) {
                     finished[f0 + fcount++] = f;
                     active[f] = 0;
+                    if (warm_start) {
+                        active_n--;
+                        for (int j = flow_ptr[f]; j < flow_ptr[f + 1]; j++)
+                            base_counts[flow_rows[j] - row0]--;
+                    }
                     int g = group_of[f];
                     if (g >= 0 && --group_left[g] == 0) group_done = 1;
                 }
@@ -260,7 +340,7 @@ int waterfill_batch(int num_blocks,
     }
 
     free(residual); free(counts); free(frozen);
-    free(row_ptr); free(row_flows); free(fill);
+    free(row_ptr); free(row_flows); free(fill); free(base_counts);
     return WF_OK;
 }
 """
@@ -279,7 +359,7 @@ int waterfill_batch(int num_blocks,
                     double *rates, unsigned char *active,
                     int *finished, int *finished_count,
                     double *next_flow, int *steps, int *stop_reason,
-                    const int *max_steps);
+                    const int *max_steps, int warm_start);
 """
 
 _LOADED: Optional[Tuple[object, object]] = None
@@ -305,25 +385,55 @@ def _find_shared_object(directory: str) -> Optional[str]:
     return matches[0] if matches else None
 
 
+@contextlib.contextmanager
+def _compile_lock(directory: str):
+    """Exclusive cross-process lock serialising kernel builds.
+
+    N freshly spawned sweep workers can all find no shared object and enter
+    :func:`_compile` at once; without the lock their builds race (and on
+    pid reuse even share a staging dir).  ``flock`` serialises them — the
+    losers re-check for the winner's published artifact under the lock.  On
+    platforms without ``fcntl`` the lock degrades to a no-op, restoring the
+    previous last-writer-wins behaviour.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover — non-posix fallback
+        yield
+        return
+    with open(f"{directory}.lock", "a+b") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 def _compile() -> Optional[str]:
     from cffi import FFI
 
     directory = _build_dir()
-    # Build in a process-private staging dir, then publish the .so atomically
-    # so concurrent sweep workers never observe a half-written artifact.
-    staging = f"{directory}.build.{os.getpid()}"
-    os.makedirs(staging, exist_ok=True)
-    try:
-        ffi = FFI()
-        ffi.cdef(CDEF)
-        ffi.set_source(_module_name(), C_SOURCE)
-        built = ffi.compile(tmpdir=staging, verbose=False)
-        os.makedirs(directory, exist_ok=True)
-        target = os.path.join(directory, os.path.basename(built))
-        os.replace(built, target)
-        return target
-    finally:
-        shutil.rmtree(staging, ignore_errors=True)
+    with _compile_lock(directory):
+        # Another process may have built and published while we waited on
+        # the lock; its artifact is complete (publication is atomic).
+        existing = _find_shared_object(directory)
+        if existing is not None:
+            return existing
+        # Build in a process-private staging dir, then publish the .so
+        # atomically so readers never observe a half-written artifact.
+        staging = f"{directory}.build.{os.getpid()}"
+        os.makedirs(staging, exist_ok=True)
+        try:
+            ffi = FFI()
+            ffi.cdef(CDEF)
+            ffi.set_source(_module_name(), C_SOURCE)
+            built = ffi.compile(tmpdir=staging, verbose=False)
+            os.makedirs(directory, exist_ok=True)
+            target = os.path.join(directory, os.path.basename(built))
+            os.replace(built, target)
+            return target
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
 
 
 def native_lib() -> Optional[Tuple[object, object]]:

@@ -38,6 +38,7 @@ mutations already trigger, e.g. the executor after reconfiguration callbacks).
 from __future__ import annotations
 
 import heapq
+import os
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -53,6 +54,27 @@ SOLVERS = ("auto", "native", "vectorized", "scalar")
 #: Active-flow count at which the vectorized solver switches from heap-ordered
 #: to dense-matrix water-filling rounds.
 DENSE_ROUND_THRESHOLD = 512
+
+#: Process-wide override for the native kernel's incremental warm-start mode
+#: (``None`` defers to the ``REPRO_WATERFILL_WARM_START`` environment
+#: variable, which defaults to enabled).  The mode is bit-identical to the
+#: from-scratch solve — it carries each block's water-filling bookkeeping
+#: across the solve → advance loop instead of rebuilding it per event — so
+#: the switch exists for differential testing, not for result exploration.
+_WARM_START_OVERRIDE: Optional[bool] = None
+
+
+def warm_start_enabled() -> bool:
+    """Whether ``waterfill_batch`` runs in incremental warm-start mode."""
+    if _WARM_START_OVERRIDE is not None:
+        return _WARM_START_OVERRIDE
+    return os.environ.get("REPRO_WATERFILL_WARM_START", "1") != "0"
+
+
+def set_warm_start(enabled: Optional[bool]) -> None:
+    """Override warm-start mode process-wide (``None`` resets to the env)."""
+    global _WARM_START_OVERRIDE
+    _WARM_START_OVERRIDE = enabled
 
 
 def _resolve_solver_impl(solver: str) -> str:
@@ -1021,6 +1043,7 @@ def _advance_native_batch(
         ffi.cast("int *", ffi.from_buffer(steps)),
         ffi.cast("int *", ffi.from_buffer(stop_reason)),
         iptr(max_steps),
+        1 if warm_start_enabled() else 0,
     )
     if status != 0:
         warnings.warn(

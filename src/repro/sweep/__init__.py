@@ -10,9 +10,12 @@ that grid into first-class objects:
   concrete :class:`SweepConfig` records;
 * :class:`SweepConfig` — one fully-specified simulation, JSON-serializable
   and content-hashed so results can be cached and reproduced;
-* :class:`SweepRunner` — fans configurations out over ``multiprocessing``
-  workers (or runs them inline), with per-configuration result caching keyed
-  by the config hash;
+* :class:`SweepRunner` — fans configurations out over a persistent pool of
+  warm worker processes (or runs them inline), with per-configuration result
+  caching keyed by the config hash;
+* :class:`FoldedSweepRunner` — batches structurally-compatible configs
+  through one solve/advance loop (DESIGN.md §6), optionally sharded whole
+  groups at a time across the worker pool (§7);
 * :class:`SweepResult` — a structured, JSON-serializable record of one run;
 * a CLI: ``python -m repro.sweep --help``.
 
@@ -28,7 +31,13 @@ from repro.sweep.registry import (
     parse_failure,
     resolve_model,
 )
-from repro.sweep.spec import CONFIG_SCHEMA_VERSION, SweepConfig, SweepSpec
+from repro.sweep.pool import MetricBoard, PersistentWorkerPool
+from repro.sweep.spec import (
+    CONFIG_SCHEMA_VERSION,
+    SweepConfig,
+    SweepSpec,
+    structural_groups,
+)
 from repro.sweep.runner import (
     FoldedSweepRunner,
     SweepError,
@@ -44,6 +53,8 @@ __all__ = [
     "CONFIG_SCHEMA_VERSION",
     "FABRIC_BUILDERS",
     "FoldedSweepRunner",
+    "MetricBoard",
+    "PersistentWorkerPool",
     "SWEEP_MODELS",
     "SweepConfig",
     "SweepError",
@@ -57,4 +68,5 @@ __all__ = [
     "resolve_model",
     "run_case",
     "run_config",
+    "structural_groups",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -25,7 +26,7 @@ from repro.core.runtime import FIRST_A2A_POLICIES
 from repro.sim.flows import SOLVERS
 from repro.sweep.registry import FABRIC_BUILDERS, SWEEP_MODELS
 from repro.sweep.runner import FoldedSweepRunner, SweepRunner
-from repro.sweep.spec import SweepSpec
+from repro.sweep.spec import SweepSpec, structural_groups
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,13 +57,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seeds", nargs="+", type=int, default=[0],
                         help="synthetic-traffic seeds")
     parser.add_argument("--workers", type=int, default=0,
-                        help="worker processes (0/1 = run inline)")
+                        help="worker processes (0/1 = run inline; composes "
+                             "with --folded: whole structural groups are "
+                             "sharded across workers)")
     parser.add_argument("--folded", action=argparse.BooleanOptionalAction,
                         default=None,
                         help="run structurally-compatible configs folded "
                              "through one batched solve/advance loop "
-                             "(default: folded when running inline, unfolded "
-                             "with --workers > 1; results are identical)")
+                             "(default: folded whenever at least two "
+                             "yet-uncached configs share a structural key; "
+                             "results are identical either way)")
     parser.add_argument("--cache-dir", default=None,
                         help="cache per-config results here, keyed by config hash")
     parser.add_argument("--solver", choices=list(SOLVERS), default=None,
@@ -121,12 +125,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{len(configs)} configuration(s)", file=sys.stderr)
         return 0
 
-    folded = args.folded if args.folded is not None else args.workers <= 1
+    if args.folded is not None:
+        folded = args.folded
+        if not folded:
+            print("note: folding disabled by --no-folded", file=sys.stderr)
+    else:
+        # Folding only pays when some batch can hold ≥2 simulations, i.e.
+        # when at least two configs that still need simulating share a
+        # structural key; a grid of structural singletons folds into batches
+        # of one and gains nothing, so run it plain.
+        misses = configs
+        if args.cache_dir is not None:
+            misses = [
+                config
+                for config in configs
+                if not os.path.exists(
+                    os.path.join(args.cache_dir, f"{config.config_hash()}.json")
+                )
+            ]
+        folded = any(
+            len(positions) >= 2
+            for positions in structural_groups(misses).values()
+        )
+        if not folded:
+            print(
+                "note: folding disabled — no two yet-uncached configurations "
+                "share a structural key (fabric/model/policy/failure/size), "
+                "so every batch would hold a single simulation",
+                file=sys.stderr,
+            )
     if folded:
         runner = FoldedSweepRunner(
             configs,
             cache_dir=args.cache_dir,
             solver=args.solver,
+            workers=args.workers,
         )
     else:
         runner = SweepRunner(
@@ -135,7 +168,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_dir=args.cache_dir,
             solver=args.solver,
         )
-    results = runner.run()
+    with runner:
+        results = runner.run()
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -1,21 +1,25 @@
 """Sweep execution: single cases, worker pools and the result cache.
 
 The runner executes :class:`~repro.sweep.spec.SweepConfig` records —
-serially in-process or fanned out over ``multiprocessing`` workers — and
+serially in-process, folded (many configs through one batched solve →
+next-completion → advance loop), fanned out over a persistent pool of
+worker processes, or both at once (folded *shards*, DESIGN.md §7) — and
 returns structured, JSON-serializable :class:`SweepResult` records.  Results
 are deterministic per configuration (each config carries its own seed and the
-simulator is seed-deterministic), so the worker count never changes the
-numbers, only the wall time.
+simulator is seed-deterministic) and folding/sharding are pure execution
+transformations, so neither the worker count nor the fold width ever changes
+the numbers, only the wall time.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
-import multiprocessing
 import os
+import queue as queue_mod
 import time
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.spec import ClusterSpec
 from repro.core.runtime import IterationResult, RuntimeOptions, TrainingSimulator
@@ -23,8 +27,17 @@ from repro.fabric.base import Fabric
 from repro.moe.models import MoEModelConfig
 from repro.moe.trace import IterationRecord
 from repro.sim.flows import service_advance_requests
+from repro.sweep.pool import (
+    ACK,
+    DONE,
+    READY,
+    TASK_ERROR,
+    MetricBoard,
+    PersistentWorkerPool,
+    attach_board,
+)
 from repro.sweep.registry import build_fabric, parse_failure, resolve_model
-from repro.sweep.spec import SweepConfig, SweepSpec
+from repro.sweep.spec import SweepConfig, SweepSpec, structural_groups
 
 
 def run_case(
@@ -102,6 +115,74 @@ class SweepResult:
         return cls(**payload)
 
 
+#: The numeric fields of :class:`SweepResult`, in shared-memory row order.
+#: Workers write one float64 vector per config onto the
+#: :class:`~repro.sweep.pool.MetricBoard`; the parent reassembles the result
+#: from this vector plus data it already holds (the config, its hash) and
+#: two small strings from the ack.  float64 round-trips every field exactly
+#: (``num_micro_batches`` is a small integer), so transport is bit-exact.
+METRIC_FIELDS = (
+    "iteration_time_s",
+    "stage_time_s",
+    "dp_allreduce_s",
+    "pp_transfer_s",
+    "reconfig_blocking_s",
+    "comm_bytes",
+    "compute_time_s",
+    "num_micro_batches",
+    "tokens_per_iteration",
+    "tokens_per_second",
+    "wall_time_s",
+)
+
+
+def _result_from_metrics(
+    config: SweepConfig,
+    config_hash: str,
+    fabric: str,
+    model: str,
+    vector: Sequence[float],
+) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from a transported metric vector."""
+    values = dict(zip(METRIC_FIELDS, vector))
+    values["num_micro_batches"] = int(values["num_micro_batches"])
+    return SweepResult(
+        config=config.to_dict(),
+        config_hash=config_hash,
+        fabric=fabric,
+        model=model,
+        from_cache=False,
+        **values,
+    )
+
+
+#: Uniquifies temp-file names within one process (two pool tasks — or the
+#: runner and a pool worker sharing its pid after a fork-exec recycling —
+#: must never interleave writes inside one temp file).
+_TMP_COUNTER = itertools.count()
+
+
+def _store_result(cache_dir: Optional[str], result: SweepResult) -> None:
+    """Write one result into the cache atomically (multiprocess-safe).
+
+    Temp file + ``os.replace``: a reader — or a second worker finishing the
+    same structural group under a shared ``cache_dir`` — can never observe a
+    partially-written JSON document, only the old file or the new one.
+    """
+    if cache_dir is None:
+        return
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, f"{result.config_hash}.json")
+    tmp_path = f"{path}.tmp.{os.getpid()}.{next(_TMP_COUNTER)}"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):  # replace failed; don't litter the cache
+            os.remove(tmp_path)
+
+
 def _materialise(
     config: SweepConfig, solver: Optional[str]
 ) -> Tuple[MoEModelConfig, ClusterSpec, Fabric, RuntimeOptions]:
@@ -175,10 +256,12 @@ def iter_run_config(
 def _worker(
     payload: Tuple[int, Dict[str, object], str, Optional[str]]
 ) -> Tuple[int, Dict[str, object]]:
-    """Pool entry point (module-level so it pickles).
+    """Legacy one-config entry point (kept for API compatibility).
 
-    Failures are returned as tagged payloads rather than raised, so one bad
-    configuration cannot tear down the whole ``imap_unordered`` stream.
+    The pool tasks below supersede it, but its contract — failures are
+    returned as tagged payloads rather than raised, so one bad configuration
+    cannot tear down a result stream — is still the right building block for
+    external callers driving their own pools.
     """
     index, config_dict, config_hash, solver = payload
     try:
@@ -191,6 +274,93 @@ def _worker(
             "config": config_dict,
             "config_hash": config_hash,
         }
+
+
+def _ok_payload(board, slot: int, index: int, result: SweepResult) -> tuple:
+    """Ack for one completed config: metrics on the board, strings inline."""
+    vector = [float(getattr(result, name)) for name in METRIC_FIELDS]
+    if board is not None:
+        board.write(slot, vector)
+        return ("ok", index, slot, result.fabric, result.model, None)
+    return ("ok", index, slot, result.fabric, result.model, tuple(vector))
+
+
+def _config_shard_task(
+    emit,
+    config_dicts: List[Dict[str, object]],
+    hashes: List[str],
+    indices: List[int],
+    slots: List[int],
+    solver: Optional[str],
+    cache_dir: Optional[str],
+    board_name: Optional[str],
+    num_slots: int,
+) -> None:
+    """Pool task: one worker's share of unfolded cache-miss configs.
+
+    Each config is simulated, written through to the cache (crash salvage),
+    its metric vector placed on the shared-memory board, and acked with two
+    small strings — the numbers never travel through a pickle.
+    """
+    board = attach_board(board_name, num_slots, len(METRIC_FIELDS))
+    try:
+        for config_dict, config_hash, index, slot in zip(
+            config_dicts, hashes, indices, slots
+        ):
+            try:
+                config = SweepConfig.from_dict(config_dict)
+                result = run_config(config, solver=solver, config_hash=config_hash)
+            except Exception as exc:  # noqa: BLE001 — structured error record
+                emit(("err", index, f"{type(exc).__name__}: {exc}"))
+                continue
+            _store_result(cache_dir, result)
+            emit(_ok_payload(board, slot, index, result))
+    finally:
+        if board is not None:
+            board.close()
+
+
+def _fold_shard_task(
+    emit,
+    config_dicts: List[Dict[str, object]],
+    hashes: List[str],
+    indices: List[int],
+    slots: List[int],
+    solver: Optional[str],
+    cache_dir: Optional[str],
+    board_name: Optional[str],
+    num_slots: int,
+    fold_width: int,
+) -> None:
+    """Pool task: one worker's shard of whole structural groups, run folded.
+
+    The shard re-enters :class:`FoldedSweepRunner` serially in-worker, so a
+    sharded parallel run is exactly N independent serial folded runs — which
+    is why its results are bit-identical to the serial folded runner.  Each
+    result streams out (write-through cache, board row, ack) the moment its
+    generator finishes, not at shard end.
+    """
+    board = attach_board(board_name, num_slots, len(METRIC_FIELDS))
+    try:
+        configs = [SweepConfig.from_dict(d) for d in config_dicts]
+        shard = FoldedSweepRunner(
+            configs, fold_width=fold_width, cache_dir=cache_dir, solver=solver
+        )
+        shard.result_callback = lambda local, result: emit(
+            _ok_payload(board, slots[local], indices[local], result)
+        )
+        results: List[Optional[SweepResult]] = [None] * len(configs)
+        # The parent already established these are cache misses and computed
+        # their hashes; enter below run() to skip a redundant cache pass.
+        errors = shard._run_misses(
+            list(range(len(configs))), list(hashes), results
+        )
+        index_of_hash = dict(zip(hashes, indices))
+        for error in errors:
+            emit(("err", index_of_hash[error.config_hash], error.error))
+    finally:
+        if board is not None:
+            board.close()
 
 
 @dataclass
@@ -224,6 +394,13 @@ class SweepRunError(RuntimeError):
 class SweepRunner:
     """Runs a sweep, optionally parallel and optionally cached.
 
+    Parallel runs execute on a :class:`~repro.sweep.pool.PersistentWorkerPool`
+    owned by the runner: workers are spawned once per runner lifetime (not
+    per ``run()`` call), arrive warm (the cffi kernel pre-loaded) and stay
+    resident between grids.  Use the runner as a context manager, or call
+    :meth:`close`, to release them; an abandoned runner's workers are
+    daemonic and die with the process.
+
     Args:
         sweep: A :class:`SweepSpec` or an explicit sequence of
             :class:`SweepConfig` records.
@@ -249,6 +426,41 @@ class SweepRunner:
         self.workers = workers
         self.cache_dir = cache_dir
         self.solver = solver
+        self._pool: Optional[PersistentWorkerPool] = None
+
+    # ------------------------------------------------------------------ pool
+    def _ensure_pool(self) -> PersistentWorkerPool:
+        if self._pool is None:
+            self._pool = PersistentWorkerPool(self.workers)
+        self._pool.start()
+        return self._pool
+
+    def warm_up(self) -> None:
+        """Spawn and warm the worker pool now (instead of on first run).
+
+        Lets benchmarks and services pay the one-time pool cost outside the
+        measured/served region.  Inline runners (``workers <= 1``) no-op.
+        """
+        if self.workers > 1:
+            self._ensure_pool()
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover — best-effort
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
 
     # ----------------------------------------------------------------- cache
     def _cache_path(self, config_hash: str) -> Optional[str]:
@@ -274,14 +486,7 @@ class SweepRunner:
         return result
 
     def _cache_store(self, result: SweepResult) -> None:
-        if self.cache_dir is None:
-            return
-        os.makedirs(self.cache_dir, exist_ok=True)
-        path = os.path.join(self.cache_dir, f"{result.config_hash}.json")
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
-        os.replace(tmp_path, path)
+        _store_result(self.cache_dir, result)
 
     # ------------------------------------------------------------------- run
     def run(self) -> List[SweepResult]:
@@ -329,41 +534,190 @@ class SweepRunner:
                 self._cache_store(result)
                 results[index] = result
             return []
-        errors: Dict[int, SweepError] = {}
-        payloads = [
-            (index, self.configs[index].to_dict(), hashes[index], self.solver)
-            for index in misses
-        ]
-        with multiprocessing.Pool(processes=self.workers) as pool:
-            # imap_unordered + write-through: every result is cached the
-            # moment it arrives, so a crash later in the run (e.g. a worker
-            # OOM-killed on a big grid) cannot lose completed work.
-            for index, payload in pool.imap_unordered(_worker, payloads):
-                if "__error__" in payload:
-                    errors[index] = SweepError(
-                        config=payload["config"],
-                        config_hash=payload["config_hash"],
-                        error=payload["__error__"],
-                    )
-                    continue
-                result = SweepResult.from_dict(payload)
+        shards = self._shard_misses(misses, hashes)
+        return self._run_parallel(misses, hashes, results, shards)
+
+    # ------------------------------------------------------- parallel driving
+    def _shard_misses(
+        self, misses: List[int], hashes: List[str]
+    ) -> List[List[int]]:
+        """Static per-worker assignment for the unfolded path (round-robin)."""
+        shards: List[List[int]] = [[] for _ in range(self.workers)]
+        for position, index in enumerate(misses):
+            shards[position % self.workers].append(index)
+        return shards
+
+    def _make_shard_task(
+        self,
+        indices: List[int],
+        hashes: List[str],
+        slot_of: Dict[int, int],
+        board: MetricBoard,
+    ) -> Tuple[Callable, tuple]:
+        """(task function, args) for one worker's shard."""
+        return _config_shard_task, (
+            [self.configs[i].to_dict() for i in indices],
+            [hashes[i] for i in indices],
+            indices,
+            [slot_of[i] for i in indices],
+            self.solver,
+            self.cache_dir,
+            board.name,
+            board.num_slots,
+        )
+
+    def _salvage_inline(
+        self,
+        indices: List[int],
+        hashes: List[str],
+        results: List[Optional[SweepResult]],
+        errors: Dict[int, SweepError],
+    ) -> None:
+        """Re-run configs a dead worker still owed, in this process."""
+        for index in indices:
+            config = self.configs[index]
+            try:
+                result = run_config(
+                    config, solver=self.solver, config_hash=hashes[index]
+                )
+            except Exception as exc:  # noqa: BLE001 — structured error record
+                errors[index] = SweepError(
+                    config=config.to_dict(),
+                    config_hash=hashes[index],
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            else:
                 self._cache_store(result)
                 results[index] = result
+
+    def _run_parallel(
+        self,
+        misses: List[int],
+        hashes: List[str],
+        results: List[Optional[SweepResult]],
+        shards: List[List[int]],
+    ) -> List[SweepError]:
+        """Drive the persistent pool over pre-assigned shards.
+
+        Every completed config streams back as an ack (metrics via shared
+        memory) and is recorded immediately; a worker that dies mid-shard is
+        detected by liveness polling, its already-cached work reloaded, the
+        remainder re-run inline, and the worker respawned so the pool stays
+        whole for the next run.
+        """
+        errors: Dict[int, SweepError] = {}
+        slot_of = {index: slot for slot, index in enumerate(misses)}
+        board = MetricBoard(len(misses), len(METRIC_FIELDS))
+        pool = self._ensure_pool()
+        task_meta: Dict[int, Tuple[int, List[int]]] = {}
+        outstanding: set = set()
+        acked: set = set()
+
+        def handle(event) -> None:
+            kind, _worker_id, task_id, payload = event
+            if kind == ACK:
+                tag = payload[0]
+                if tag == "ok":
+                    _, index, slot, fabric, model, metrics = payload
+                    vector = board.row(slot) if metrics is None else list(metrics)
+                    results[index] = _result_from_metrics(
+                        self.configs[index], hashes[index], fabric, model, vector
+                    )
+                else:
+                    _, index, message = payload
+                    errors[index] = SweepError(
+                        config=self.configs[index].to_dict(),
+                        config_hash=hashes[index],
+                        error=message,
+                    )
+                acked.add(index)
+            elif kind == DONE:
+                outstanding.discard(task_id)
+            elif kind == TASK_ERROR:
+                # The task function itself blew up (not one config): treat
+                # like a crash of just that task — salvage whatever is owed.
+                salvage_task(task_id)
+                outstanding.discard(task_id)
+            elif kind == READY:  # a respawned worker warming up; ignore
+                pass
+
+        def salvage_task(task_id: int) -> None:
+            _worker_id, indices = task_meta[task_id]
+            pending = [i for i in indices if i not in acked]
+            recompute: List[int] = []
+            for index in pending:
+                # Write-through salvage: anything the worker finished (and
+                # cached) before dying is loaded, not re-simulated.
+                cached = self._cache_load(hashes[index])
+                if cached is not None:
+                    results[index] = cached
+                else:
+                    recompute.append(index)
+                acked.add(index)
+            if recompute:
+                self._salvage_inline(recompute, hashes, results, errors)
+
+        try:
+            for worker_id, indices in enumerate(shards):
+                if not indices:
+                    continue
+                func, args = self._make_shard_task(indices, hashes, slot_of, board)
+                task_id = pool.submit(worker_id, func, args)
+                task_meta[task_id] = (worker_id, indices)
+                outstanding.add(task_id)
+
+            while outstanding:
+                try:
+                    handle(pool.events(timeout=0.1))
+                    continue
+                except queue_mod.Empty:
+                    pass
+                dead_workers = {
+                    task_meta[task_id][0]
+                    for task_id in outstanding
+                    if not pool.is_alive(task_meta[task_id][0])
+                }
+                if not dead_workers:
+                    continue
+                # Drain acks the dead worker flushed before dying — they are
+                # completed work, not salvage.
+                while True:
+                    try:
+                        handle(pool.events(timeout=0.05))
+                    except queue_mod.Empty:
+                        break
+                for worker_id in dead_workers:
+                    owed = [
+                        task_id
+                        for task_id in list(outstanding)
+                        if task_meta[task_id][0] == worker_id
+                    ]
+                    for task_id in owed:
+                        salvage_task(task_id)
+                        outstanding.discard(task_id)
+                    pool.respawn(worker_id)
+        finally:
+            board.close()
         return [errors[index] for index in sorted(errors)]
 
 
 class FoldedSweepRunner(SweepRunner):
-    """Folded sweep execution (DESIGN.md §6): structurally-compatible
+    """Folded sweep execution (DESIGN.md §6-§7): structurally-compatible
     configurations advance through one batched solve → next-completion →
-    advance loop.
+    advance loop — optionally sharded over worker processes.
 
     Cache misses are grouped by :meth:`SweepConfig.structural_key`; each
     group's simulations run as :func:`iter_run_config` generators serviced in
     lockstep by :func:`repro.sim.flows.service_advance_requests`, so a single
     ``waterfill_batch`` call carries every member's flow events between
-    Python-side task events.  Results are bit-identical to the unfolded
-    runner: each configuration's network is an independent block of the
-    batched CSR, and the C loop replays the executor's event loop exactly.
+    Python-side task events.  With ``workers=N`` the groups are sharded
+    *whole* across the persistent pool by config hash — a group never splits,
+    so each worker's batches stay regular and every worker is exactly a
+    serial folded runner over its shard; results are therefore bit-identical
+    to the serial folded runner (and to the unfolded runner) at any worker
+    count.  Results are bit-identical to the unfolded runner: each
+    configuration's network is an independent block of the batched CSR, and
+    the C loop replays the executor's event loop exactly.
 
     A configuration whose generator raises falls back to the unfolded
     per-config path; only if that also fails is a :class:`SweepError`
@@ -371,10 +725,12 @@ class FoldedSweepRunner(SweepRunner):
 
     Args:
         sweep: Spec or explicit config list, as for :class:`SweepRunner`.
-        fold_width: Maximum configurations folded into one batch.
+        fold_width: Maximum configurations folded into one batch (per worker
+            when sharded).
         cache_dir: Per-config result cache, as for :class:`SweepRunner`.
         solver: Fluid-solver override; the native kernel folds in C, other
             solvers fold through an equivalent per-network Python loop.
+        workers: Worker processes; ``0`` or ``1`` folds inline.
     """
 
     def __init__(
@@ -383,11 +739,18 @@ class FoldedSweepRunner(SweepRunner):
         fold_width: int = 16,
         cache_dir: Optional[str] = None,
         solver: Optional[str] = None,
+        workers: int = 0,
     ) -> None:
-        super().__init__(sweep, workers=0, cache_dir=cache_dir, solver=solver)
+        super().__init__(
+            sweep, workers=workers, cache_dir=cache_dir, solver=solver
+        )
         if fold_width < 1:
             raise ValueError("fold_width must be positive")
         self.fold_width = fold_width
+        #: Invoked as ``callback(index, result)`` whenever a configuration
+        #: completes (folded or via fallback).  Used by the in-worker shard
+        #: task to stream results; ``None`` outside the pool.
+        self.result_callback: Optional[Callable[[int, SweepResult], None]] = None
 
     def _run_misses(
         self,
@@ -395,16 +758,31 @@ class FoldedSweepRunner(SweepRunner):
         hashes: List[str],
         results: List[Optional[SweepResult]],
     ) -> List[SweepError]:
+        if self.workers > 1:
+            shards = self._shard_groups(misses, hashes)
+            return self._run_parallel(misses, hashes, results, shards)
         errors: Dict[int, SweepError] = {}
-        groups: Dict[tuple, List[int]] = {}
-        for index in misses:
-            key = self.configs[index].structural_key()
-            groups.setdefault(key, []).append(index)
+        self._fold_serial(misses, hashes, results, errors)
+        return [errors[index] for index in sorted(errors)]
+
+    # ---------------------------------------------------------- serial fold
+    def _fold_serial(
+        self,
+        misses: List[int],
+        hashes: List[str],
+        results: List[Optional[SweepResult]],
+        errors: Dict[int, SweepError],
+    ) -> None:
+        grouped = structural_groups([self.configs[index] for index in misses])
+        groups = [
+            [misses[position] for position in positions]
+            for positions in grouped.values()
+        ]
         # Admission order: structurally-compatible configs march together, so
         # batches stay regular; fold_width caps how many simulations are live
         # (and hold memory) at once.  Every live generator — regardless of
         # group — is serviced by the same batched advance each round.
-        pending = iter([index for indices in groups.values() for index in indices])
+        pending = iter([index for group in groups for index in group])
         live: List[Tuple[int, object, object]] = []
 
         def admit() -> None:
@@ -430,7 +808,13 @@ class FoldedSweepRunner(SweepRunner):
             for (index, generator, _), outcome in zip(stepping, outcomes):
                 self._step(index, generator, outcome, live, hashes, results, errors)
             admit()
-        return [errors[index] for index in sorted(errors)]
+
+    def _record(self, index, result, results) -> None:
+        """One configuration finished: cache it, place it, stream it."""
+        self._cache_store(result)
+        results[index] = result
+        if self.result_callback is not None:
+            self.result_callback(index, result)
 
     def _step(self, index, generator, outcome, live, hashes, results, errors):
         try:
@@ -439,9 +823,7 @@ class FoldedSweepRunner(SweepRunner):
             else:
                 request = generator.send(outcome)
         except StopIteration as stop:
-            result = stop.value
-            self._cache_store(result)
-            results[index] = result
+            self._record(index, stop.value, results)
         except Exception:  # noqa: BLE001 — straggler leaves the fold
             self._run_unfolded(index, hashes, results, errors)
         else:
@@ -461,5 +843,63 @@ class FoldedSweepRunner(SweepRunner):
                 error=f"{type(exc).__name__}: {exc}",
             )
         else:
-            self._cache_store(result)
-            results[index] = result
+            self._record(index, result, results)
+
+    # -------------------------------------------------------- group sharding
+    def _shard_groups(
+        self, misses: List[int], hashes: List[str]
+    ) -> List[List[int]]:
+        """Partition cache misses into per-worker shards, whole groups only.
+
+        A structural group is identified by the smallest ``config_hash``
+        among its members; groups are ordered largest-first (ties by that
+        hash) and assigned greedily to the least-loaded worker.  Entirely a
+        function of the miss set's hashes, so the sharding is deterministic
+        — and because a group never splits, each worker's fold sees exactly
+        the batches a serial folded run over those configs would see.
+        """
+        grouped = structural_groups([self.configs[index] for index in misses])
+        ordered = sorted(
+            (
+                [misses[position] for position in positions]
+                for positions in grouped.values()
+            ),
+            key=lambda indices: (-len(indices), min(hashes[i] for i in indices)),
+        )
+        shards: List[List[int]] = [[] for _ in range(self.workers)]
+        loads = [0] * self.workers
+        for group in ordered:
+            target = min(range(self.workers), key=lambda w: (loads[w], w))
+            shards[target].extend(group)
+            loads[target] += len(group)
+        return shards
+
+    def _make_shard_task(
+        self,
+        indices: List[int],
+        hashes: List[str],
+        slot_of: Dict[int, int],
+        board: MetricBoard,
+    ) -> Tuple[Callable, tuple]:
+        return _fold_shard_task, (
+            [self.configs[i].to_dict() for i in indices],
+            [hashes[i] for i in indices],
+            indices,
+            [slot_of[i] for i in indices],
+            self.solver,
+            self.cache_dir,
+            board.name,
+            board.num_slots,
+            self.fold_width,
+        )
+
+    def _salvage_inline(
+        self,
+        indices: List[int],
+        hashes: List[str],
+        results: List[Optional[SweepResult]],
+        errors: Dict[int, SweepError],
+    ) -> None:
+        """Salvage a dead worker's leftovers with a serial fold (groups are
+        still whole — a shard only ever contains complete groups)."""
+        self._fold_serial(indices, hashes, results, errors)

@@ -101,6 +101,22 @@ class SweepConfig:
         )
 
 
+def structural_groups(
+    configs: Sequence[SweepConfig],
+) -> Dict[Tuple[object, ...], List[int]]:
+    """Group config positions by :meth:`SweepConfig.structural_key`.
+
+    The returned dict maps each structural key to the positions (into
+    ``configs``) of its members, in first-seen key order with positions
+    ascending — the fold-compatibility classes that drive folded admission,
+    group sharding and the CLI's folded-by-default decision.
+    """
+    groups: Dict[Tuple[object, ...], List[int]] = {}
+    for position, config in enumerate(configs):
+        groups.setdefault(config.structural_key(), []).append(position)
+    return groups
+
+
 @dataclass
 class SweepSpec:
     """Cartesian grid over the evaluation axes of §7.

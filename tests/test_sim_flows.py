@@ -268,3 +268,148 @@ class TestNativeOOMFallback:
         assert [f.flow_id for f in outcome.finished] == [
             f.flow_id for f in expected.finished
         ]
+
+class TestWarmStartBoundary:
+    """Warm-started waterfill_batch must replay the cold rounds exactly.
+
+    The incremental mode rebuilds each event's water-filling bookkeeping from
+    persistent per-block state (O(num_rows) memcpys) instead of from the CSR
+    (O(nnz)); the rounds it then runs consume identical counts, residuals and
+    bucket order, so every rate — and therefore every completion time and
+    ordering — must be bit-identical, not merely close.  511/512/513 flows
+    straddle the Python reference's heap->dense switch, pinning the native
+    kernel against both reference regimes.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _reset_warm_start(self):
+        from repro.sim.flows import set_warm_start
+
+        yield
+        set_warm_start(None)
+
+    @staticmethod
+    def _native_or_skip():
+        from repro.sim._native import native_available
+
+        if not native_available():
+            pytest.skip("native kernel unavailable")
+
+    @staticmethod
+    def _drain(net):
+        """Full solve → completion → advance drain through one batched call."""
+        outcome = net.advance_through(0.0)
+        return (
+            outcome.now,
+            [flow.flow_id for flow in outcome.finished],
+            outcome.steps,
+            outcome.reason,
+        )
+
+    @pytest.mark.parametrize("num_flows", [511, 512, 513])
+    def test_warm_matches_cold_bit_exactly(self, num_flows):
+        from repro.sim.flows import set_warm_start
+
+        self._native_or_skip()
+        build = TestDenseRoundBoundary.build_network
+        set_warm_start(False)
+        cold_now, cold_order, cold_steps, cold_reason = self._drain(
+            build("native", num_flows)
+        )
+        set_warm_start(True)
+        warm_now, warm_order, warm_steps, warm_reason = self._drain(
+            build("native", num_flows)
+        )
+        assert warm_now == cold_now  # bit-exact, not approx
+        assert warm_order == cold_order
+        assert (warm_steps, warm_reason) == (cold_steps, cold_reason)
+        # Every flow drained (ties retire several per step), so the event
+        # count crossed the 512-active boundary from above.
+        assert len(cold_order) == num_flows
+
+    @pytest.mark.parametrize("num_flows", [511, 513])
+    def test_warm_agrees_with_python_reference(self, num_flows):
+        from repro.sim.flows import set_warm_start
+
+        self._native_or_skip()
+        build = TestDenseRoundBoundary.build_network
+        ref_now, ref_order, ref_steps, ref_reason = self._drain(
+            build("vectorized", num_flows)
+        )
+        set_warm_start(True)
+        warm_now, warm_order, warm_steps, warm_reason = self._drain(
+            build("native", num_flows)
+        )
+        assert warm_now == pytest.approx(ref_now, rel=1e-9)
+        assert warm_order == ref_order
+        assert (warm_steps, warm_reason) == (ref_steps, ref_reason)
+
+    def test_flag_plumbing(self, monkeypatch):
+        from repro.sim.flows import set_warm_start, warm_start_enabled
+
+        assert warm_start_enabled()  # default on
+        monkeypatch.setenv("REPRO_WATERFILL_WARM_START", "0")
+        assert not warm_start_enabled()
+        set_warm_start(True)  # explicit override beats the environment
+        assert warm_start_enabled()
+        set_warm_start(None)
+        assert not warm_start_enabled()
+
+
+class TestCompileRace:
+    """Two processes (here: threads, same flock semantics) entering
+    _compile() concurrently must produce one build, not clobber each other:
+    the loser blocks on the lock, re-checks, and adopts the winner's
+    published artifact."""
+
+    class _SlowFakeFFI:
+        builds = []
+
+        def cdef(self, *_args, **_kwargs):
+            pass
+
+        def set_source(self, _name, _source):
+            pass
+
+        def compile(self, tmpdir, verbose=False):
+            import os
+            import time
+
+            TestCompileRace._SlowFakeFFI.builds.append(tmpdir)
+            time.sleep(0.3)  # hold the lock long enough for the loser to queue
+            path = os.path.join(tmpdir, "_repro_waterfill.fake.so")
+            with open(path, "wb") as handle:
+                handle.write(b"fake shared object")
+            return path
+
+    def test_concurrent_compiles_build_once(self, monkeypatch, tmp_path):
+        import threading
+
+        import cffi
+
+        from repro.sim import _native
+
+        pytest.importorskip("fcntl")
+        self._SlowFakeFFI.builds = []
+        monkeypatch.setattr(cffi, "FFI", self._SlowFakeFFI)
+        monkeypatch.setattr(
+            _native, "_build_dir", lambda: str(tmp_path / "kernel")
+        )
+
+        outcomes = [None, None]
+
+        def attempt(slot):
+            outcomes[slot] = _native._compile()
+
+        threads = [
+            threading.Thread(target=attempt, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert outcomes[0] is not None and outcomes[0] == outcomes[1]
+        import os
+
+        assert os.path.exists(outcomes[0])
+        assert len(self._SlowFakeFFI.builds) == 1  # loser adopted, not rebuilt
