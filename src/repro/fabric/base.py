@@ -98,6 +98,31 @@ class RegionNetwork:
     def intra_link(self, server: int) -> str:
         return self.intra_links[server]
 
+    def clone(self) -> "RegionNetwork":
+        """A stamped copy sharing structure, owning numeric state.
+
+        Simulation mutates a region in two ways only: link capacities
+        (failure effects, circuit installs — see ``set_capacity`` callers)
+        and ``ep_paths`` *entries* (rebinding a pair to another path list).
+        So a clone gets fresh :class:`Link` objects and its own ``ep_paths``
+        dict, while the path lists themselves, ``eps_paths``, ``intra_links``
+        and the server list are shared read-only — which both makes cloning
+        cheap and keeps path-list identity stable across clones, so the fluid
+        network's id-keyed row caches stay warm (DESIGN.md §8).
+        """
+        dup = RegionNetwork(servers=self.servers)
+        self._clone_into(dup)
+        return dup
+
+    def _clone_into(self, dup: "RegionNetwork") -> None:
+        dup.links = {
+            link_id: Link(link_id, link.capacity_gbps, link.latency_s)
+            for link_id, link in self.links.items()
+        }
+        dup.ep_paths = dict(self.ep_paths)
+        dup.eps_paths = self.eps_paths
+        dup.intra_links = self.intra_links
+
     def validate(self) -> None:
         """Ensure all referenced links exist (used by tests)."""
         for paths in (self.ep_paths, self.eps_paths):

@@ -32,6 +32,42 @@ class MixNetRegionNetwork(RegionNetwork):
         self.nic_bandwidth_gbps = nic_bandwidth_gbps
         self.ocs = ocs
         self._circuits: Dict[Tuple[int, int], int] = {}
+        # One content-stable path list per ordered pair with a circuit,
+        # created on first use and reused across reconfigurations (and shared
+        # with clones): a pair that regains a circuit gets the *same* list
+        # object back, so the fluid network's id-keyed path->rows cache stays
+        # warm across topology changes (DESIGN.md §8).
+        self._optical_paths: Dict[Tuple[int, int], List[str]] = {}
+
+    def clone(self) -> "MixNetRegionNetwork":
+        """Stamped copy with a pristine OCS (no circuits, zero reconfig
+        count — exactly the state ``build_region`` produces), sharing path
+        lists and the optical-path pool with the blueprint."""
+        dup = MixNetRegionNetwork.__new__(MixNetRegionNetwork)
+        RegionNetwork.__init__(dup, servers=self.servers)
+        self._clone_into(dup)
+        dup.nic_bandwidth_gbps = self.nic_bandwidth_gbps
+        dup.ocs = OpticalCircuitSwitch(
+            technology=self.ocs.technology, num_ports=self.ocs.num_ports
+        )
+        dup._circuits = dict(self._circuits)
+        dup._optical_paths = self._optical_paths
+        # A blueprint is cloned before any circuits are installed; if a
+        # caller clones a live region anyway, drop the optical links the
+        # fresh OCS does not know about.
+        if dup._circuits:
+            dup._circuits = {}
+            for link_id in [l for l in dup.links if l.startswith("ocs:")]:
+                del dup.links[link_id]
+            dup.ep_paths = dict(self.eps_paths)
+        return dup
+
+    def _optical_path(self, src: int, dst: int) -> List[str]:
+        path = self._optical_paths.get((src, dst))
+        if path is None:
+            path = [f"nvs:s{src}", f"ocs:s{src}->s{dst}", f"nvs:s{dst}"]
+            self._optical_paths[(src, dst)] = path
+        return path
 
     @property
     def circuits(self) -> Dict[Tuple[int, int], int]:
@@ -57,30 +93,50 @@ class MixNetRegionNetwork(RegionNetwork):
             # already consistent.  (The delay alone cannot detect this — an
             # instantaneous device also returns 0.0 for real changes.)
             return delay
-        # Remove previous optical links.
-        for key in [link_id for link_id in self.links if link_id.startswith("ocs:")]:
-            del self.links[key]
-        self._circuits = self.ocs.circuits
-        for (a, b), count in self._circuits.items():
+        # Diff against the previous mapping: with optical degree d over n
+        # servers, successive allocations share most pairs, so touching only
+        # the changed ones replaces an O(n²) teardown/rebuild per install
+        # with O(d·n) updates.  Link-dict order does not matter downstream
+        # (the fluid network assigns incidence rows by first flow use, and
+        # capacity refresh looks links up by id), so leaving unchanged links
+        # in place is observation-equivalent to the full rebuild.
+        old = self._circuits
+        new = self.ocs.circuits
+        for (a, b), count in old.items():
+            if (a, b) not in new:
+                del self.links[f"ocs:s{a}->s{b}"]
+                del self.links[f"ocs:s{b}->s{a}"]
+                self.ep_paths[(a, b)] = self.eps_paths[(a, b)]
+                self.ep_paths[(b, a)] = self.eps_paths[(b, a)]
+        for (a, b), count in new.items():
+            if old.get((a, b)) == count:
+                continue
             capacity = count * self.nic_bandwidth_gbps
             self.add_link(f"ocs:s{a}->s{b}", capacity, latency_s=5e-7)
             self.add_link(f"ocs:s{b}->s{a}", capacity, latency_s=5e-7)
-        self._rebuild_ep_paths()
+            if (a, b) not in old:
+                self.ep_paths[(a, b)] = self._optical_path(a, b)
+                self.ep_paths[(b, a)] = self._optical_path(b, a)
+        self._circuits = new
         return delay
 
     def _rebuild_ep_paths(self) -> None:
+        """Recompute every pair's EP path from the current circuit set.
+
+        The full-scan form; :meth:`apply_circuits` maintains the same mapping
+        incrementally, so this exists for callers (tests) that mutate
+        ``_circuits`` directly and as executable documentation of the
+        invariant: circuit-holding pairs route optically, all others fall
+        back to the EPS path.
+        """
         for src in self.servers:
             for dst in self.servers:
                 if src == dst:
                     continue
                 if self.circuit_count(src, dst) > 0:
-                    self.ep_paths[(src, dst)] = [
-                        f"nvs:s{src}",
-                        f"ocs:s{src}->s{dst}",
-                        f"nvs:s{dst}",
-                    ]
+                    self.ep_paths[(src, dst)] = self._optical_path(src, dst)
                 else:
-                    self.ep_paths[(src, dst)] = list(self.eps_paths[(src, dst)])
+                    self.ep_paths[(src, dst)] = self.eps_paths[(src, dst)]
 
 
 class MixNetFabric(Fabric):
@@ -161,8 +217,12 @@ class MixNetFabric(Fabric):
                     f"down:s{dst}",
                     f"nvs:s{dst}",
                 ]
+                # The EP entry starts as the *same* list object as the EPS
+                # one (no circuits yet); installs rebind entries, never
+                # mutate the lists, so sharing is safe and keeps path ids
+                # stable for the fluid network's row cache.
                 network.eps_paths[(src, dst)] = path
-                network.ep_paths[(src, dst)] = list(path)
+                network.ep_paths[(src, dst)] = path
         network.validate()
         return network
 

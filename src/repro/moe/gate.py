@@ -37,7 +37,13 @@ def _softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
 
 #: Memoised initial draws of :class:`GateSimulator`: key ->
 #: (layer_logits, transitions, generator state after the draws).
+#: Bounded clear-on-full at 64 entries (see ``GateSimulator.__init__``).
 _INIT_STATE_CACHE: dict = {}
+
+
+def clear_gate_cache() -> None:
+    """Drop the memoised initial gate states (entries are recomputable)."""
+    _INIT_STATE_CACHE.clear()
 
 
 @dataclass

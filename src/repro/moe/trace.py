@@ -86,8 +86,16 @@ class TrainingTrace:
 
 #: Memo of default-dynamics traces (they are pure functions of their
 #: arguments and sweeps re-request the same trace for every fabric/policy).
+#: Bounded clear-on-full (mirroring ``repro.moe.gate``'s init-state cache):
+#: a long-lived sweep service cycling through many (model, seed) pairs stays
+#: flat instead of leaking, and any evicted trace is recomputable.
 _TRACE_MEMO: dict = {}
 _TRACE_MEMO_LIMIT = 256
+
+
+def clear_trace_memo() -> None:
+    """Drop every memoised trace (entries are recomputable)."""
+    _TRACE_MEMO.clear()
 
 
 def generate_trace(
@@ -143,7 +151,9 @@ def generate_trace(
         trace.records.append(
             IterationRecord(iteration=step, expert_loads=loads, traffic_matrices=matrices)
         )
-    if memo_key is not None and len(_TRACE_MEMO) < _TRACE_MEMO_LIMIT:
+    if memo_key is not None:
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.clear()
         # The memoized instance is shared between callers, so enforce the
         # immutability contract: in-place writes raise instead of silently
         # poisoning every later consumer of the same trace.

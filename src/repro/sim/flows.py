@@ -41,7 +41,7 @@ import heapq
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -251,8 +251,14 @@ class FluidNetwork:
             link = links.get(link_id)
             capacity = max(0.0, link.capacity_gbps) if link is not None else 0.0
             self._cap_list[row] = capacity * GBPS_TO_BYTES_PER_S
-        self._cap_arr = np.array(self._cap_list)
-        self._cap_ptr = None  # points into the replaced array; recreate lazily
+        if len(self._cap_arr) == len(self._cap_list):
+            # Same row set: refresh in place — cached cffi pointers into the
+            # array stay valid, and no allocation happens on the (hot)
+            # capacity-changed-between-solves path.
+            self._cap_arr[:] = self._cap_list
+        else:
+            self._cap_arr = np.array(self._cap_list)
+            self._cap_ptr = None  # pointed into the replaced array
         self._capacity_dirty = False
 
     # --------------------------------------------------------------- flow ops
@@ -369,13 +375,25 @@ class FluidNetwork:
                     flow._finish_threshold for flow in flows
                 ]
                 self._active_buf[:count] = 1
+                # Reuse one grown-geometric buffer for the group-slot vector
+                # (it is all zeros or all -1 on this path — a task's batch is
+                # one group); consumers treat it as read-only between adds.
+                grp_cap = getattr(self, "_grp_cap_buf", None)
+                if grp_cap is None or len(grp_cap) < count:
+                    grp_cap = np.empty(
+                        max(count, 64, 0 if grp_cap is None else 2 * len(grp_cap)),
+                        dtype=np.int32,
+                    )
+                    self._grp_cap_buf = grp_cap
                 if group is not None:
                     self._csr_groups = [group] * count
-                    self._grp_buf = np.zeros(count, dtype=np.int32)
+                    grp_cap[:count] = 0
+                    self._grp_buf = grp_cap[:count]
                     self._grp_keys = [group]
                 else:
                     self._csr_groups = [None] * count
-                    self._grp_buf = np.full(count, -1, dtype=np.int32)
+                    grp_cap[:count] = -1
+                    self._grp_buf = grp_cap[:count]
                     self._grp_keys = []
                 self._csr_inactive = 0
                 self._csr_valid = True
@@ -929,6 +947,39 @@ def _advance_python(request: FlowAdvanceRequest) -> FlowAdvanceOutcome:
             return FlowAdvanceOutcome(now, finished, None, steps, "group")
 
 
+class _BatchScratch:
+    """Persistent assembly buffers for :func:`_advance_native_batch`.
+
+    A folded sweep calls the batch advance hundreds of times with
+    near-constant sizes; rebuilding the stacked CSR out of per-network
+    ``np.concatenate`` temporaries dominated the Python side of the call.
+    Buffers grow geometrically, never shrink, and are filled in place via
+    slice views each call.  Like the fluid networks themselves the scratch is
+    single-threaded per process (pool workers are separate processes), and
+    :func:`_advance_native_batch` is not reentrant anyway — the kernel call
+    consumes the buffers before returning.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self) -> None:
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def get(self, name: str, size: int, dtype) -> np.ndarray:
+        """A length-``size`` contiguous view of the named buffer (uninitialised)."""
+        array = self._arrays.get(name)
+        if array is None or len(array) < size:
+            capacity = max(size, 64)
+            if array is not None:
+                capacity = max(capacity, 2 * len(array))
+            array = np.empty(capacity, dtype=dtype)
+            self._arrays[name] = array
+        return array[:size]
+
+
+_BATCH_SCRATCH = _BatchScratch()
+
+
 def _advance_native_batch(
     requests: Sequence[FlowAdvanceRequest],
 ) -> Optional[List[FlowAdvanceOutcome]]:
@@ -939,18 +990,14 @@ def _advance_native_batch(
     """
     lib, ffi = requests[0].network._native_loaded
     num_blocks = len(requests)
-    block_flows = np.zeros(num_blocks + 1, dtype=np.int32)
-    block_rows = np.zeros(num_blocks + 1, dtype=np.int32)
-    ptr_parts: List[np.ndarray] = [np.zeros(1, dtype=np.int32)]
-    rows_parts: List[np.ndarray] = []
-    caps_parts: List[np.ndarray] = []
-    remaining_parts: List[np.ndarray] = []
-    threshold_parts: List[np.ndarray] = []
-    group_parts: List[np.ndarray] = []
-    group_left: List[int] = []
-    block_flow_lists: List[List[Flow]] = []
+    scratch = _BATCH_SCRATCH
+    block_flows = scratch.get("block_flows", num_blocks + 1, np.int32)
+    block_rows = scratch.get("block_rows", num_blocks + 1, np.int32)
+    block_flows[0] = 0
+    block_rows[0] = 0
+    # First pass: bring every block's CSR up to date and size the batch.
+    blocks: List[Tuple[FluidNetwork, List[Flow], int, int]] = []
     flow_base = row_base = nnz_base = 0
-    active_parts: List[np.ndarray] = []
     for index, request in enumerate(requests):
         network = request.network
         if network._capacity_dirty:
@@ -963,16 +1010,51 @@ def _advance_native_batch(
         flows = network._csr_flows
         num_flows = len(flows)
         nnz = int(network._ptr_buf[num_flows])
-        ptr_parts.append(network._ptr_buf[1 : num_flows + 1] + nnz_base)
-        rows_parts.append(network._rows_buf[:nnz] + row_base)
-        caps_parts.append(network._cap_arr)
-        remaining_parts.append(
-            np.fromiter(
-                (flow.remaining_bytes for flow in flows), np.float64, num_flows
-            )
+        blocks.append((network, flows, num_flows, nnz))
+        flow_base += num_flows
+        row_base += len(network._link_ids)
+        nnz_base += nnz
+        block_flows[index + 1] = flow_base
+        block_rows[index + 1] = row_base
+
+    total_flows, total_rows, total_nnz = flow_base, row_base, nnz_base
+    flow_ptr = scratch.get("flow_ptr", total_flows + 1, np.int32)
+    flow_rows = scratch.get("flow_rows", total_nnz, np.int32)
+    caps = scratch.get("caps", total_rows, np.float64)
+    remaining = scratch.get("remaining", total_flows, np.float64)
+    threshold = scratch.get("threshold", total_flows, np.float64)
+    group_of = scratch.get("group_of", total_flows, np.int32)
+    active = scratch.get("active", total_flows, np.uint8)
+    rates = scratch.get("rates", total_flows, np.float64)
+    finished = scratch.get("finished", total_flows, np.int32)
+
+    # Second pass: stack each block into the scratch slices, offsetting row
+    # and nnz indices into batch coordinates.
+    flow_ptr[0] = 0
+    group_left: List[int] = []
+    block_flow_lists: List[List[Flow]] = []
+    flow_base = row_base = nnz_base = 0
+    for network, flows, num_flows, nnz in blocks:
+        flow_slice = slice(flow_base, flow_base + num_flows)
+        np.add(
+            network._ptr_buf[1 : num_flows + 1],
+            nnz_base,
+            out=flow_ptr[flow_base + 1 : flow_base + 1 + num_flows],
         )
-        threshold_parts.append(network._thr_buf[:num_flows])
-        active_parts.append(network._active_buf[:num_flows])
+        np.add(
+            network._rows_buf[:nnz],
+            row_base,
+            out=flow_rows[nnz_base : nnz_base + nnz],
+        )
+        caps[row_base : row_base + len(network._link_ids)] = network._cap_arr
+        remaining[flow_slice] = np.fromiter(
+            (flow.remaining_bytes for flow in flows), np.float64, num_flows
+        )
+        threshold[flow_slice] = network._thr_buf[:num_flows]
+        active[flow_slice] = network._active_buf[:num_flows]
+        grp_buf = network._grp_buf
+        group_view = group_of[flow_slice]
+        group_view[:] = grp_buf
         if network._grp_keys:
             slot_base = len(group_left)
             network_left = network._group_left
@@ -980,44 +1062,31 @@ def _advance_native_batch(
             # flows are all inactive then, so the kernel never consults the
             # placeholder count.
             group_left.extend(network_left.get(key, 0) for key in network._grp_keys)
-            grp_buf = network._grp_buf
-            groups = np.where(grp_buf >= 0, grp_buf + slot_base, grp_buf)
-        else:
-            groups = network._grp_buf
-        group_parts.append(groups)
+            if slot_base:
+                np.add(group_view, slot_base, out=group_view, where=grp_buf >= 0)
         block_flow_lists.append(flows)
         flow_base += num_flows
         row_base += len(network._link_ids)
         nnz_base += nnz
-        block_flows[index + 1] = flow_base
-        block_rows[index + 1] = row_base
 
-    flow_ptr = np.ascontiguousarray(np.concatenate(ptr_parts), dtype=np.int32)
-    flow_rows = np.ascontiguousarray(
-        np.concatenate(rows_parts) if rows_parts else np.zeros(0), dtype=np.int32
-    )
-    caps = np.ascontiguousarray(np.concatenate(caps_parts), dtype=np.float64)
-    remaining = np.concatenate(remaining_parts)
-    threshold = np.concatenate(threshold_parts)
-    group_of = np.ascontiguousarray(np.concatenate(group_parts), dtype=np.int32)
     group_left_arr = np.asarray(group_left or [0], dtype=np.int32)
-    now_arr = np.fromiter((r.now for r in requests), np.float64, num_blocks)
-    budget = np.fromiter(
-        (np.inf if r.budget is None else r.budget for r in requests),
-        np.float64,
-        num_blocks,
-    )
-    max_steps = np.fromiter((r.max_steps for r in requests), np.int32, num_blocks)
-    rates = np.zeros(flow_base)
-    active = np.ascontiguousarray(
-        np.concatenate(active_parts) if active_parts else np.zeros(0),
-        dtype=np.uint8,
-    )
-    finished = np.zeros(flow_base, dtype=np.int32)
-    finished_count = np.zeros(num_blocks, dtype=np.int32)
-    next_flow = np.zeros(num_blocks)
-    steps = np.zeros(num_blocks, dtype=np.int32)
-    stop_reason = np.zeros(num_blocks, dtype=np.int32)
+    now_arr = scratch.get("now", num_blocks, np.float64)
+    budget = scratch.get("budget", num_blocks, np.float64)
+    max_steps = scratch.get("max_steps", num_blocks, np.int32)
+    for index, request in enumerate(requests):
+        now_arr[index] = request.now
+        budget[index] = np.inf if request.budget is None else request.budget
+        max_steps[index] = request.max_steps
+    # Output buffers the kernel accumulates into (vs. assigns) start zeroed.
+    rates[:] = 0.0
+    finished_count = scratch.get("finished_count", num_blocks, np.int32)
+    finished_count[:] = 0
+    next_flow = scratch.get("next_flow", num_blocks, np.float64)
+    next_flow[:] = 0.0
+    steps = scratch.get("steps", num_blocks, np.int32)
+    steps[:] = 0
+    stop_reason = scratch.get("stop_reason", num_blocks, np.int32)
+    stop_reason[:] = 0
 
     def iptr(array: np.ndarray):
         return ffi.cast("const int *", ffi.from_buffer(array))

@@ -16,7 +16,11 @@ that grid into first-class objects:
 * :class:`FoldedSweepRunner` — batches structurally-compatible configs
   through one solve/advance loop (DESIGN.md §6), optionally sharded whole
   groups at a time across the worker pool (§7);
-* :class:`SweepResult` — a structured, JSON-serializable record of one run;
+* :class:`SweepResult` — a structured, JSON-serializable record of one run,
+  including a per-phase wall-time breakdown (:mod:`repro.sweep.phases`);
+* :class:`StructuralTemplate` / :class:`TemplateStore` — the two-tier
+  structural template cache that amortises config materialisation across a
+  folded group and across runs (DESIGN.md §8);
 * a CLI: ``python -m repro.sweep --help``.
 
 Every figure-style driver (``simulate_fabrics``, the examples, the
@@ -38,6 +42,11 @@ from repro.sweep.spec import (
     SweepSpec,
     structural_groups,
 )
+from repro.sweep.phases import (
+    PHASE_FIELDS,
+    format_profile,
+    summarize_phases,
+)
 from repro.sweep.runner import (
     FoldedSweepRunner,
     SweepError,
@@ -48,25 +57,44 @@ from repro.sweep.runner import (
     run_case,
     run_config,
 )
+from repro.sweep.template import (
+    TEMPLATE_SCHEMA_VERSION,
+    TEMPLATE_STATS,
+    StructuralTemplate,
+    TemplateStore,
+    clear_template_cache,
+    get_template,
+    structural_hash,
+)
 
 __all__ = [
     "CONFIG_SCHEMA_VERSION",
     "FABRIC_BUILDERS",
     "FoldedSweepRunner",
     "MetricBoard",
+    "PHASE_FIELDS",
     "PersistentWorkerPool",
     "SWEEP_MODELS",
+    "StructuralTemplate",
     "SweepConfig",
     "SweepError",
     "SweepResult",
     "SweepRunError",
     "SweepRunner",
     "SweepSpec",
+    "TEMPLATE_SCHEMA_VERSION",
+    "TEMPLATE_STATS",
+    "TemplateStore",
     "build_fabric",
+    "clear_template_cache",
+    "format_profile",
+    "get_template",
     "iter_run_config",
     "parse_failure",
     "resolve_model",
     "run_case",
     "run_config",
     "structural_groups",
+    "structural_hash",
+    "summarize_phases",
 ]

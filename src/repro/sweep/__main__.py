@@ -69,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "results are identical either way)")
     parser.add_argument("--cache-dir", default=None,
                         help="cache per-config results here, keyed by config hash")
+    parser.add_argument("--template-dir", default=None,
+                        help="on-disk structural-template store for folded runs "
+                             "(default: <cache-dir>/templates when --cache-dir "
+                             "is set; pass an empty string to disable)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-config phase breakdown "
+                             "(setup/solve/advance/store) and template-source "
+                             "counts after the run")
     parser.add_argument("--solver", choices=list(SOLVERS), default=None,
                         help="fluid rate solver override (default: auto — the "
                              "compiled native kernel when a C compiler is "
@@ -154,12 +162,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "so every batch would hold a single simulation",
                 file=sys.stderr,
             )
+    template_dir = args.template_dir
+    if template_dir is None and args.cache_dir is not None:
+        template_dir = os.path.join(args.cache_dir, "templates")
+    elif template_dir == "":
+        template_dir = None
     if folded:
         runner = FoldedSweepRunner(
             configs,
             cache_dir=args.cache_dir,
             solver=args.solver,
             workers=args.workers,
+            template_dir=template_dir,
         )
     else:
         runner = SweepRunner(
@@ -185,6 +199,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{str(config['failure']):10s} {config['nic_bandwidth_gbps']:5.0f} "
             f"{result.iteration_time_s:10.3f} {'yes' if result.from_cache else 'no':>6s}"
         )
+    if args.profile:
+        from repro.sweep.phases import format_profile
+
+        print()
+        for line in format_profile(results):
+            print(line)
     print(f"{len(results)} configuration(s) simulated", file=sys.stderr)
     return 0
 

@@ -57,6 +57,13 @@ def _pool_worker(worker_id: int, tasks, results) -> None:
         _native.native_lib()
     except Exception:  # noqa: BLE001 — no kernel is fine, workers degrade
         pass
+    try:
+        # Import the sweep stack (runner, template cache, simulator) before
+        # reporting ready, so the first shard task measures simulation, not
+        # module import.
+        import repro.sweep.runner  # noqa: F401 — warm-up import
+    except Exception:  # noqa: BLE001 — degrade to importing on first task
+        pass
     results.put((READY, worker_id, -1, None))
     while True:
         task = tasks.get()

@@ -26,7 +26,9 @@ from repro.core.runtime import IterationResult, RuntimeOptions, TrainingSimulato
 from repro.fabric.base import Fabric
 from repro.moe.models import MoEModelConfig
 from repro.moe.trace import IterationRecord
+from repro.sim.executor import Executor
 from repro.sim.flows import service_advance_requests
+from repro.sweep.phases import PHASE_FIELDS, PhaseAccumulator
 from repro.sweep.pool import (
     ACK,
     DONE,
@@ -38,6 +40,7 @@ from repro.sweep.pool import (
 )
 from repro.sweep.registry import build_fabric, parse_failure, resolve_model
 from repro.sweep.spec import SweepConfig, SweepSpec, structural_groups
+from repro.sweep.template import StructuralTemplate, TemplateStore, get_template
 
 
 def run_case(
@@ -78,6 +81,16 @@ class SweepResult:
     tokens_per_iteration: float
     tokens_per_second: float
     wall_time_s: float = 0.0
+    # Phase breakdown (repro.sweep.phases): where the wall time went.  Zero
+    # when the executing path does not time that phase (e.g. ``advance_s``
+    # in unfolded runs, ``store_s`` without a cache).
+    setup_s: float = 0.0
+    solve_s: float = 0.0
+    advance_s: float = 0.0
+    store_s: float = 0.0
+    #: How the structural template was obtained ("built" / "memory" /
+    #: "disk"), or "none" for paths that run from scratch.
+    template_source: str = "none"
     from_cache: bool = False
 
     @classmethod
@@ -133,7 +146,7 @@ METRIC_FIELDS = (
     "tokens_per_iteration",
     "tokens_per_second",
     "wall_time_s",
-)
+) + PHASE_FIELDS
 
 
 def _result_from_metrics(
@@ -141,6 +154,7 @@ def _result_from_metrics(
     config_hash: str,
     fabric: str,
     model: str,
+    template_source: str,
     vector: Sequence[float],
 ) -> SweepResult:
     """Rebuild a :class:`SweepResult` from a transported metric vector."""
@@ -151,6 +165,7 @@ def _result_from_metrics(
         config_hash=config_hash,
         fabric=fabric,
         model=model,
+        template_source=template_source,
         from_cache=False,
         **values,
     )
@@ -216,35 +231,50 @@ def run_config(
     solver: Optional[str] = None,
     config_hash: Optional[str] = None,
 ) -> SweepResult:
-    """Materialise one configuration and simulate it."""
+    """Materialise one configuration and simulate it — always from scratch.
+
+    This is the reference path (no template): the differential tests compare
+    templated folded execution against it.  It still reports the phase split
+    (``setup_s`` = materialisation through executor construction, ``solve_s``
+    = the fluid solve), so profiles of folded and unfolded runs line up.
+    """
     start = time.perf_counter()
     model, cluster, fabric, options = _materialise(config, solver)
-    result = run_case(
-        model,
-        fabric,
-        options=options,
-        failure=parse_failure(config.failure),
-        cluster=cluster,
-    )
-    return SweepResult.from_iteration(
+    simulator = TrainingSimulator(model, cluster, fabric, options=options)
+    prepared = simulator._prepare_iteration(None, parse_failure(config.failure))
+    executor = Executor(prepared.graph, prepared.region, solver=options.fluid_solver)
+    setup_end = time.perf_counter()
+    execution = executor.run()
+    solve_end = time.perf_counter()
+    result = simulator._compose_result(prepared, execution)
+    sweep_result = SweepResult.from_iteration(
         config, result, time.perf_counter() - start, config_hash=config_hash
     )
+    sweep_result.setup_s = setup_end - start
+    sweep_result.solve_s = solve_end - setup_end
+    return sweep_result
 
 
 def iter_run_config(
     config: SweepConfig,
     solver: Optional[str] = None,
     config_hash: Optional[str] = None,
+    template: Optional[StructuralTemplate] = None,
 ):
     """Generator form of :func:`run_config` for folded execution.
 
     Yields :class:`~repro.sim.flows.FlowAdvanceRequest` objects (see
     :meth:`repro.sim.executor.Executor.iter_run`) and returns the
-    :class:`SweepResult` as the generator's value.
+    :class:`SweepResult` as the generator's value.  ``template`` (the
+    config's structural-key template) lets the simulator stamp shared
+    artifacts instead of rebuilding them; results are bit-identical either
+    way (``tests/test_sweep_template.py``).
     """
     start = time.perf_counter()
     model, cluster, fabric, options = _materialise(config, solver)
-    simulator = TrainingSimulator(model, cluster, fabric, options=options)
+    simulator = TrainingSimulator(
+        model, cluster, fabric, options=options, template=template
+    )
     result = yield from simulator.iter_simulation(
         failure=parse_failure(config.failure)
     )
@@ -281,8 +311,10 @@ def _ok_payload(board, slot: int, index: int, result: SweepResult) -> tuple:
     vector = [float(getattr(result, name)) for name in METRIC_FIELDS]
     if board is not None:
         board.write(slot, vector)
-        return ("ok", index, slot, result.fabric, result.model, None)
-    return ("ok", index, slot, result.fabric, result.model, tuple(vector))
+        return ("ok", index, slot, result.fabric, result.model,
+                result.template_source, None)
+    return ("ok", index, slot, result.fabric, result.model,
+            result.template_source, tuple(vector))
 
 
 def _config_shard_task(
@@ -331,6 +363,7 @@ def _fold_shard_task(
     board_name: Optional[str],
     num_slots: int,
     fold_width: int,
+    template_dir: Optional[str] = None,
 ) -> None:
     """Pool task: one worker's shard of whole structural groups, run folded.
 
@@ -338,13 +371,18 @@ def _fold_shard_task(
     sharded parallel run is exactly N independent serial folded runs — which
     is why its results are bit-identical to the serial folded runner.  Each
     result streams out (write-through cache, board row, ack) the moment its
-    generator finishes, not at shard end.
+    generator finishes, not at shard end.  ``template_dir`` hands the worker
+    the on-disk template tier: the template of each structural group is
+    built (or disk-loaded) once per shard task and shared by every config in
+    the shard; since shards hold whole groups, no group's template is built
+    twice across the pool.
     """
     board = attach_board(board_name, num_slots, len(METRIC_FIELDS))
     try:
         configs = [SweepConfig.from_dict(d) for d in config_dicts]
         shard = FoldedSweepRunner(
-            configs, fold_width=fold_width, cache_dir=cache_dir, solver=solver
+            configs, fold_width=fold_width, cache_dir=cache_dir, solver=solver,
+            template_dir=template_dir,
         )
         shard.result_callback = lambda local, result: emit(
             _ok_payload(board, slots[local], indices[local], result)
@@ -618,10 +656,11 @@ class SweepRunner:
             if kind == ACK:
                 tag = payload[0]
                 if tag == "ok":
-                    _, index, slot, fabric, model, metrics = payload
+                    _, index, slot, fabric, model, template_source, metrics = payload
                     vector = board.row(slot) if metrics is None else list(metrics)
                     results[index] = _result_from_metrics(
-                        self.configs[index], hashes[index], fabric, model, vector
+                        self.configs[index], hashes[index], fabric, model,
+                        template_source, vector,
                     )
                 else:
                     _, index, message = payload
@@ -731,6 +770,11 @@ class FoldedSweepRunner(SweepRunner):
         solver: Fluid-solver override; the native kernel folds in C, other
             solvers fold through an equivalent per-network Python loop.
         workers: Worker processes; ``0`` or ``1`` folds inline.
+        template_dir: Directory of the on-disk
+            :class:`~repro.sweep.template.TemplateStore` (second tier of the
+            structural-template cache); ``None`` keeps templates in-memory
+            only.  The in-memory tier is always on — it is what amortises
+            materialisation across a group's configs.
     """
 
     def __init__(
@@ -740,6 +784,7 @@ class FoldedSweepRunner(SweepRunner):
         cache_dir: Optional[str] = None,
         solver: Optional[str] = None,
         workers: int = 0,
+        template_dir: Optional[str] = None,
     ) -> None:
         super().__init__(
             sweep, workers=workers, cache_dir=cache_dir, solver=solver
@@ -747,10 +792,16 @@ class FoldedSweepRunner(SweepRunner):
         if fold_width < 1:
             raise ValueError("fold_width must be positive")
         self.fold_width = fold_width
+        self.template_dir = template_dir
         #: Invoked as ``callback(index, result)`` whenever a configuration
         #: completes (folded or via fallback).  Used by the in-worker shard
         #: task to stream results; ``None`` outside the pool.
         self.result_callback: Optional[Callable[[int, SweepResult], None]] = None
+
+    def _template_store(self) -> Optional[TemplateStore]:
+        if self.template_dir is None:
+            return None
+        return TemplateStore(self.template_dir)
 
     def _run_misses(
         self,
@@ -774,15 +825,27 @@ class FoldedSweepRunner(SweepRunner):
         errors: Dict[int, SweepError],
     ) -> None:
         grouped = structural_groups([self.configs[index] for index in misses])
-        groups = [
-            [misses[position] for position in positions]
-            for positions in grouped.values()
-        ]
+        # One template per structural group, fetched lazily on first
+        # admission (memory tier, then the optional disk store) and shared by
+        # every generator of the group; per-config phase accumulators time
+        # the generators from outside, so the simulator itself carries no
+        # instrumentation.
+        store = self._template_store()
+        key_of: Dict[int, tuple] = {}
+        order: List[int] = []
+        for key, positions in grouped.items():
+            for position in positions:
+                index = misses[position]
+                key_of[index] = key
+                order.append(index)
+        templates: Dict[tuple, Tuple[StructuralTemplate, str]] = {}
+        phases_of: Dict[int, PhaseAccumulator] = {}
+        source_of: Dict[int, str] = {}
         # Admission order: structurally-compatible configs march together, so
         # batches stay regular; fold_width caps how many simulations are live
         # (and hold memory) at once.  Every live generator — regardless of
         # group — is serviced by the same batched advance each round.
-        pending = iter([index for group in groups for index in group])
+        pending = iter(order)
         live: List[Tuple[int, object, object]] = []
 
         def admit() -> None:
@@ -791,42 +854,94 @@ class FoldedSweepRunner(SweepRunner):
                 if index is None:
                     return
                 try:
+                    key = key_of[index]
+                    entry = templates.get(key)
+                    if entry is None:
+                        entry = get_template(key, store=store)
+                        templates[key] = entry
+                    template, source = entry
                     generator = iter_run_config(
                         self.configs[index],
                         solver=self.solver,
                         config_hash=hashes[index],
+                        template=template,
                     )
                 except Exception:  # noqa: BLE001 — straggler leaves the fold
                     self._run_unfolded(index, hashes, results, errors)
                     continue
-                self._step(index, generator, None, live, hashes, results, errors)
+                source_of[index] = source
+                phases_of[index] = PhaseAccumulator()
+                self._step(index, generator, None, live, hashes, results, errors,
+                           phases_of, source_of)
 
         admit()
         while live:
+            solve_start = time.perf_counter()
             outcomes = service_advance_requests([entry[2] for entry in live])
+            # The batched solve serves every live config at once; share its
+            # wall time equally — the split is a reporting convention, the
+            # total is exact.
+            solve_share = (time.perf_counter() - solve_start) / len(live)
             stepping, live = live, []
             for (index, generator, _), outcome in zip(stepping, outcomes):
-                self._step(index, generator, outcome, live, hashes, results, errors)
+                phases_of[index].solve_s += solve_share
+                self._step(index, generator, outcome, live, hashes, results,
+                           errors, phases_of, source_of)
             admit()
 
-    def _record(self, index, result, results) -> None:
+        if store is not None:
+            for template, _source in templates.values():
+                # Persist new artifacts, and first-time templates even when
+                # they hold none (static fabrics): presence on disk is what
+                # lets a later process count a "disk" hit instead of
+                # rebuilding silently.
+                if template.dirty or not os.path.exists(
+                    store.path_for(template.key)
+                ):
+                    store.save(template)
+
+    def _record(self, index, result, results, phases=None, source="none") -> None:
         """One configuration finished: cache it, place it, stream it."""
+        store_start = time.perf_counter()
         self._cache_store(result)
+        if phases is not None:
+            phases.store_s = time.perf_counter() - store_start
+            phases.apply(result)
+        result.template_source = source
         results[index] = result
         if self.result_callback is not None:
             self.result_callback(index, result)
 
-    def _step(self, index, generator, outcome, live, hashes, results, errors):
+    def _step(self, index, generator, outcome, live, hashes, results, errors,
+              phases_of=None, source_of=None):
+        phases = phases_of.get(index) if phases_of is not None else None
+        step_start = time.perf_counter()
         try:
             if outcome is None:
                 request = next(generator)
             else:
                 request = generator.send(outcome)
         except StopIteration as stop:
-            self._record(index, stop.value, results)
+            if phases is not None:
+                elapsed = time.perf_counter() - step_start
+                if outcome is None:
+                    phases.setup_s += elapsed
+                else:
+                    phases.advance_s += elapsed
+            source = source_of.get(index, "none") if source_of else "none"
+            self._record(index, stop.value, results, phases=phases, source=source)
         except Exception:  # noqa: BLE001 — straggler leaves the fold
             self._run_unfolded(index, hashes, results, errors)
         else:
+            if phases is not None:
+                elapsed = time.perf_counter() - step_start
+                # The first step runs materialisation + simulator + DAG build
+                # up to the first flow batch: that is setup.  Later steps are
+                # Python-side task bookkeeping between solves: advance.
+                if outcome is None:
+                    phases.setup_s += elapsed
+                else:
+                    phases.advance_s += elapsed
             live.append((index, generator, request))
 
     def _run_unfolded(self, index, hashes, results, errors):
@@ -891,6 +1006,7 @@ class FoldedSweepRunner(SweepRunner):
             board.name,
             board.num_slots,
             self.fold_width,
+            self.template_dir,
         )
 
     def _salvage_inline(

@@ -90,6 +90,14 @@ class SweepConfig:
         (:class:`repro.sweep.runner.FoldedSweepRunner`).  The remaining axes
         (bandwidths, seeds, delays, reconfiguration engines) only change link
         capacities, flow sizes and task durations, which fold freely.
+
+        The key is also the identity of a
+        :class:`~repro.sweep.template.StructuralTemplate`: one template per
+        key caches the parameter-independent artifacts every member shares,
+        and memos inside the template re-key themselves by whichever stamped
+        axes (seed, bandwidth, engine, delay) they additionally depend on —
+        so changing this key's definition invalidates both the fold grouping
+        and the template cache consistently.
         """
         return (
             self.fabric,

@@ -354,6 +354,7 @@ class TestAtomicCacheStore:
             result.config_hash,
             result.fabric,
             result.model,
+            result.template_source,
             vector,
         )
         assert rebuilt.to_dict() == result.to_dict()
