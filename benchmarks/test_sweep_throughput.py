@@ -126,17 +126,12 @@ def run_phase_breakdown(reference, rounds=1):
     round — cold or warm — must reproduce ``reference`` bit-identically:
     the amortisation must never be "fast but silently different".
     """
-    from repro.core.runtime import clear_runtime_caches
-    from repro.moe.gate import clear_gate_cache
-    from repro.moe.trace import clear_trace_memo
-    from repro.sweep import clear_template_cache, summarize_phases
+    from repro.core.caches import clear_all_caches
+    from repro.sweep import summarize_phases
 
     def one(cold):
         if cold:
-            clear_template_cache()
-            clear_runtime_caches()
-            clear_trace_memo()
-            clear_gate_cache()
+            clear_all_caches()
         results = FoldedSweepRunner(SPEC).run()
         for fast_result, folded_result in zip(reference, results):
             assert fast_result.config_hash == folded_result.config_hash

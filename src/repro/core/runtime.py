@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.spec import ClusterSpec
+from repro.core.caches import clear_all_caches, register_cache
 from repro.core.collective import (
     ep_all_to_all_flows,
     ring_all_reduce_time,
@@ -52,6 +53,7 @@ FIRST_A2A_POLICIES = ("block", "reuse", "copilot")
 
 #: Memoised synthetic demand records, keyed by (model, seed, iteration).
 _RECORD_CACHE: Dict[tuple, IterationRecord] = {}
+_RECORD_CACHE_LIMIT = 64
 
 #: Memoised base (pre-adjustment) EP all-to-all expansions.  The expansion
 #: is determined by (model, seed, micro-batch scale, layer, transpose,
@@ -66,6 +68,7 @@ _BASE_FLOW_CACHE: Dict[tuple, List] = {}
 #: MixNet configs whose allocators picked the same circuits share too.
 #: Entries are treated as immutable.
 _ADJUSTED_FLOW_CACHE: Dict[tuple, List] = {}
+_FLOW_CACHE_LIMIT = 1024
 
 #: Memoised TopoOpt profiled-average demand matrices, keyed by
 #: (model, seed, stage layers).  The 3-iteration profiling trace behind them
@@ -75,20 +78,72 @@ _PROFILED_DEMAND_CACHE: Dict[tuple, np.ndarray] = {}
 _PROFILED_DEMAND_LIMIT = 64
 
 
+register_cache(
+    "repro.core.runtime._RECORD_CACHE",
+    _RECORD_CACHE,
+    axes=("model", "seed", "iteration"),
+    cap=_RECORD_CACHE_LIMIT,
+    doc="Synthetic demand records; pure function of the key via the "
+    "default-dynamics trace generator.",
+)
+register_cache(
+    "repro.core.runtime._BASE_FLOW_CACHE",
+    _BASE_FLOW_CACHE,
+    axes=(
+        "model",
+        "seed",
+        "micro_batch_size",
+        "group_ranks",
+        "gpus_per_server",
+        "layer",
+        "transpose",
+    ),
+    cap=_FLOW_CACHE_LIMIT,
+    doc="Base (pre-adjustment) EP all-to-all expansions of the memoised "
+    "default record; entries are immutable.",
+)
+register_cache(
+    "repro.core.runtime._ADJUSTED_FLOW_CACHE",
+    _ADJUSTED_FLOW_CACHE,
+    axes=(
+        "model",
+        "seed",
+        "micro_batch_size",
+        "group_ranks",
+        "gpus_per_server",
+        "layer",
+        "transpose",
+        "concurrency",
+        "ocs_collective_efficiency",
+        "eps_collective_efficiency",
+        "circuit_pairs",
+    ),
+    cap=_FLOW_CACHE_LIMIT,
+    doc="Efficiency-inflated EP flow lists; base axes plus the concurrency "
+    "factor, both collective efficiencies and the circuit-holding pairs.",
+)
+register_cache(
+    "repro.core.runtime._PROFILED_DEMAND_CACHE",
+    _PROFILED_DEMAND_CACHE,
+    axes=("model", "seed", "layers"),
+    cap=_PROFILED_DEMAND_LIMIT,
+    doc="TopoOpt profiled-average demand matrices from the 3-iteration "
+    "profiling trace; read-only entries.",
+)
+
+
 def clear_runtime_caches() -> None:
-    """Drop every process-wide runtime memo (records, EP flows, demand).
+    """Drop every registered process-wide memo (registry walk).
 
     All entries are recomputable pure functions of their keys; the caches
     exist for sweep throughput, and long-lived services (or tests isolating
-    cold-path behaviour) can reset them at any time.  The companion caches
-    in :mod:`repro.moe.trace` and :mod:`repro.moe.gate` have their own
-    ``clear_*`` functions; :func:`repro.sweep.template.clear_template_cache`
-    covers the template tier.
+    cold-path behaviour) can reset them at any time.  Since the registry
+    migration this walks :data:`repro.core.caches.REGISTRY`, so the
+    companion caches in :mod:`repro.moe.trace`, :mod:`repro.moe.gate` and
+    :mod:`repro.sweep.template` — and any cache registered later — are
+    cleared too; a reset path can no longer forget a cache.
     """
-    _RECORD_CACHE.clear()
-    _BASE_FLOW_CACHE.clear()
-    _ADJUSTED_FLOW_CACHE.clear()
-    _PROFILED_DEMAND_CACHE.clear()
+    clear_all_caches()
 
 
 @dataclass
@@ -260,7 +315,7 @@ class TrainingSimulator:
             # the _RECORD_CACHE entry.
             record = self._template.record(key)
             if record is not None:
-                if len(_RECORD_CACHE) >= 64:
+                if len(_RECORD_CACHE) >= _RECORD_CACHE_LIMIT:
                     _RECORD_CACHE.clear()
                 _RECORD_CACHE[key] = record
         if record is None:
@@ -271,7 +326,7 @@ class TrainingSimulator:
                 seed=self.options.seed,
             )
             record = trace[-1]
-            if len(_RECORD_CACHE) >= 64:
+            if len(_RECORD_CACHE) >= _RECORD_CACHE_LIMIT:
                 _RECORD_CACHE.clear()
             _RECORD_CACHE[key] = record
         if self._template is not None:
@@ -647,7 +702,7 @@ class TrainingSimulator:
                     matrix, self.group_ranks, self.cluster, route=route,
                     transpose=transpose,
                 )
-                if base_cache is _BASE_FLOW_CACHE and len(base_cache) >= 1024:
+                if base_cache is _BASE_FLOW_CACHE and len(base_cache) >= _FLOW_CACHE_LIMIT:
                     base_cache.clear()
                 base_cache[base_key] = base
             concurrency = float(model.tp_degree)
@@ -684,7 +739,7 @@ class TrainingSimulator:
                     size /= ocs_efficiency if has_circuit else eps_efficiency
                 adjusted.append(FlowSpec(src, dst, size, spec.route))
             if adjusted_shared is not None:
-                if len(adjusted_shared) >= 1024:
+                if len(adjusted_shared) >= _FLOW_CACHE_LIMIT:
                     adjusted_shared.clear()
                 adjusted_shared[shared_key] = adjusted
             adjusted_flow_cache[adjusted_key] = adjusted

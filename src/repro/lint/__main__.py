@@ -1,0 +1,132 @@
+"""CLI for the invariant checker: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 — clean (or every violation baselined); 1 — violations;
+2 — configuration error (unparseable file, malformed or unjustified
+baseline entry).  There is deliberately no ``--fix``: every rule here
+guards a contract whose correct resolution needs a human decision
+(declare an axis? register a cache? seed a generator?), and an auto-fixer
+would paper over exactly the drift the lint exists to surface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.baseline import write_baseline
+from repro.lint.engine import lint_paths
+from repro.lint.rules import RULES, explain_rule
+
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def _default_baseline_path(paths: List[str]) -> Optional[str]:
+    """``lint_baseline.json`` next to the first scanned path, else cwd.
+
+    Running ``python -m repro.lint src`` from the repo root and running it
+    from anywhere with an absolute path both find the checked-in file.
+    """
+    candidates = []
+    if paths:
+        first = os.path.abspath(paths[0])
+        root = first if os.path.isdir(first) else os.path.dirname(first)
+        candidates.append(os.path.join(os.path.dirname(root), DEFAULT_BASELINE))
+        candidates.append(os.path.join(root, DEFAULT_BASELINE))
+    candidates.append(os.path.join(os.getcwd(), DEFAULT_BASELINE))
+    for candidate in candidates:
+        if os.path.exists(candidate):
+            return candidate
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker (DESIGN.md §9).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline file of audited exceptions (default: "
+        "lint_baseline.json found next to the scanned tree or in the cwd)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every violation, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH", default=None,
+        help="write the current violations to PATH as baseline entries with "
+        "empty justifications (each must be filled in by hand before the "
+        "file loads cleanly)",
+    )
+    parser.add_argument(
+        "--explain", metavar="RULE_ID", default=None,
+        help="print the invariant-catalogue entry for one rule and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every rule id with its one-line summary and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only the violation lines (no summary)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    if args.explain is not None:
+        text = explain_rule(args.explain)
+        if text is None:
+            print(
+                f"unknown rule {args.explain!r}; try --list-rules",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
+        return 0
+
+    baseline_path = args.baseline
+    use_baseline = not args.no_baseline and args.write_baseline is None
+    if use_baseline and baseline_path is None:
+        baseline_path = _default_baseline_path(args.paths)
+
+    report = lint_paths(
+        args.paths, baseline_path=baseline_path, use_baseline=use_baseline
+    )
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report.violations)
+        print(
+            f"wrote {len(report.violations)} entr"
+            f"{'y' if len(report.violations) == 1 else 'ies'} to "
+            f"{args.write_baseline} — fill in every justification"
+        )
+        return 0
+
+    for error in report.parse_errors + report.config_errors:
+        print(f"error: {error}", file=sys.stderr)
+    for violation in report.violations:
+        print(violation.format())
+    if not args.quiet:
+        suppressed = len(report.suppressed)
+        suffix = (
+            f" ({suppressed} baselined)" if suppressed else ""
+        )
+        status = "clean" if not report.violations else (
+            f"{len(report.violations)} violation(s)"
+        )
+        print(f"repro.lint: {status}{suffix}")
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Audited-exception baseline for ``repro.lint``.
+
+A baseline entry suppresses one violation class by *content anchor*: the
+rule id, the file (relative to the baseline file's directory), and the
+stripped source line.  Anchoring on content instead of line numbers keeps
+entries stable across unrelated edits; an entry whose line disappears or
+changes simply stops matching and the violation resurfaces.  Every entry
+must carry a non-empty ``justification`` — the baseline is an audit trail,
+not an off switch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # import cycle: engine imports this module
+    from repro.lint.engine import Violation
+
+#: Schema marker so future layout changes can migrate old files loudly.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Loaded baseline: entries keyed by (rule, relative path, content)."""
+
+    directory: str
+    entries: Dict[tuple, str] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    def matches(self, violation: "Violation") -> bool:
+        rel = os.path.relpath(violation.path, self.directory)
+        key = (violation.rule, rel.replace(os.sep, "/"), violation.line_content)
+        return key in self.entries
+
+
+def load_baseline(path: str) -> Baseline:
+    directory = os.path.dirname(os.path.abspath(path))
+    baseline = Baseline(directory=directory)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        baseline.errors.append(f"{path}: unreadable baseline: {exc}")
+        return baseline
+    if not isinstance(payload, dict) or "entries" not in payload:
+        baseline.errors.append(f"{path}: baseline must be {{version, entries}}")
+        return baseline
+    for position, entry in enumerate(payload.get("entries", [])):
+        if not isinstance(entry, dict):
+            baseline.errors.append(f"{path}: entry {position} is not an object")
+            continue
+        rule = entry.get("rule")
+        file_rel = entry.get("file")
+        content = entry.get("line_content")
+        justification = entry.get("justification", "")
+        if not (rule and file_rel and content is not None):
+            baseline.errors.append(
+                f"{path}: entry {position} needs rule, file and line_content"
+            )
+            continue
+        if not str(justification).strip():
+            baseline.errors.append(
+                f"{path}: entry {position} ({rule} in {file_rel}) has no "
+                f"justification — the baseline is an audit trail"
+            )
+            continue
+        key = (str(rule), str(file_rel).replace(os.sep, "/"), str(content))
+        baseline.entries[key] = str(justification)
+    return baseline
+
+
+def write_baseline(path: str, violations: List["Violation"]) -> None:
+    """Write every current violation as a baseline entry (to be justified).
+
+    Justifications are stamped with a placeholder the loader rejects until a
+    human replaces it — regenerating the baseline can never silently launder
+    new violations into accepted ones.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    entries = []
+    for violation in violations:
+        rel = os.path.relpath(violation.path, directory)
+        entries.append(
+            {
+                "rule": violation.rule,
+                "file": rel.replace(os.sep, "/"),
+                "line_content": violation.line_content,
+                "justification": "",
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")

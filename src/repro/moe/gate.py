@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.caches import register_cache
 from repro.moe.models import MoEModelConfig
 
 
@@ -37,13 +38,32 @@ def _softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
 
 #: Memoised initial draws of :class:`GateSimulator`: key ->
 #: (layer_logits, transitions, generator state after the draws).
-#: Bounded clear-on-full at 64 entries (see ``GateSimulator.__init__``).
+#: Bounded clear-on-full at ``_INIT_STATE_LIMIT`` entries (see
+#: ``GateSimulator.__init__``).
 _INIT_STATE_CACHE: dict = {}
+_INIT_STATE_LIMIT = 64
 
 
 def clear_gate_cache() -> None:
     """Drop the memoised initial gate states (entries are recomputable)."""
     _INIT_STATE_CACHE.clear()
+
+
+register_cache(
+    "repro.moe.gate._INIT_STATE_CACHE",
+    _INIT_STATE_CACHE,
+    axes=(
+        "num_layers",
+        "num_experts",
+        "initial_logit_std",
+        "transition_concentration",
+        "seed",
+    ),
+    cap=_INIT_STATE_LIMIT,
+    doc="Initial gate draws plus the generator state after them; the "
+    "simulation replays deterministically from that state.",
+    clear=clear_gate_cache,
+)
 
 
 @dataclass
@@ -128,7 +148,7 @@ class GateSimulator:
                     for _ in range(max(1, num_layers - 1))
                 ]
             )
-            if len(_INIT_STATE_CACHE) >= 64:
+            if len(_INIT_STATE_CACHE) >= _INIT_STATE_LIMIT:
                 _INIT_STATE_CACHE.clear()
             _INIT_STATE_CACHE[memo_key] = (
                 self._layer_logits,

@@ -14,6 +14,7 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.caches import register_cache
 from repro.moe.gate import GateDynamicsConfig, GateSimulator
 from repro.moe.models import MoEModelConfig
 
@@ -96,6 +97,17 @@ _TRACE_MEMO_LIMIT = 256
 def clear_trace_memo() -> None:
     """Drop every memoised trace (entries are recomputable)."""
     _TRACE_MEMO.clear()
+
+
+register_cache(
+    "repro.moe.trace._TRACE_MEMO",
+    _TRACE_MEMO,
+    axes=("model", "num_iterations", "sample_every", "seed", "selected_layers"),
+    cap=_TRACE_MEMO_LIMIT,
+    doc="Default-dynamics training traces; pure function of the key "
+    "(custom dynamics bypass the memo entirely).",
+    clear=clear_trace_memo,
+)
 
 
 def generate_trace(

@@ -10,8 +10,9 @@ machinery once so the two knobs (and any future one) cannot drift apart.
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Optional, Sequence
+
+from repro.flags import read_flag
 
 
 class ImplementationSelector:
@@ -20,7 +21,8 @@ class ImplementationSelector:
     Args:
         kind: Noun used in error messages (e.g. ``"solver"``, ``"engine"``).
         names: Accepted names, including the ``"auto"`` alias.
-        env_var: Environment variable consulted when no override is set.
+        env_var: Environment variable consulted when no override is set;
+            must be declared in :data:`repro.flags.FLAGS`.
         resolver: Maps a validated requested name to the concrete
             implementation name (resolves ``"auto"`` and any aliases).
     """
@@ -42,7 +44,7 @@ class ImplementationSelector:
         """The name used when none is given (override, then env, then auto)."""
         if self._override is not None:
             return self._override
-        env = os.environ.get(self.env_var, "").strip().lower()
+        env = read_flag(self.env_var).strip().lower()
         if not env:
             return "auto"
         if env not in self.names:

@@ -22,10 +22,13 @@ import glob
 import hashlib
 import importlib.util
 import os
+import shlex
 import shutil
 import sys
 import tempfile
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
+
+from repro.flags import read_flag
 
 C_SOURCE = r"""
 #include <math.h>
@@ -366,8 +369,19 @@ _LOADED: Optional[Tuple[object, object]] = None
 _LOAD_FAILED = False
 
 
+def _extra_build_args() -> List[str]:
+    """Extra compile/link flags from the declared ``REPRO_NATIVE_CFLAGS``.
+
+    Lets CI harden the kernel (``-fsanitize=address,undefined``) without a
+    separate build system; the flags participate in :func:`_build_dir`'s
+    cache key so instrumented and plain shared objects never collide.
+    """
+    return shlex.split(read_flag("REPRO_NATIVE_CFLAGS"))
+
+
 def _build_dir() -> str:
-    tag = hashlib.sha256(C_SOURCE.encode("utf-8")).hexdigest()[:12]
+    fingerprint = C_SOURCE + "\x00" + " ".join(_extra_build_args())
+    tag = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:12]
     python_tag = f"cp{sys.version_info.major}{sys.version_info.minor}"
     return os.path.join(
         tempfile.gettempdir(), f"repro-waterfill-{python_tag}-{tag}"
@@ -426,7 +440,13 @@ def _compile() -> Optional[str]:
         try:
             ffi = FFI()
             ffi.cdef(CDEF)
-            ffi.set_source(_module_name(), C_SOURCE)
+            extra = _extra_build_args()
+            ffi.set_source(
+                _module_name(),
+                C_SOURCE,
+                extra_compile_args=extra or None,
+                extra_link_args=extra or None,
+            )
             built = ffi.compile(tmpdir=staging, verbose=False)
             os.makedirs(directory, exist_ok=True)
             target = os.path.join(directory, os.path.basename(built))

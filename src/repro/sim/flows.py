@@ -38,7 +38,6 @@ mutations already trigger, e.g. the executor after reconfiguration callbacks).
 from __future__ import annotations
 
 import heapq
-import os
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -46,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.fabric.base import GBPS_TO_BYTES_PER_S, RegionNetwork
+from repro.flags import read_flag
 from repro.selection import ImplementationSelector
 
 #: Accepted solver names (``"auto"`` resolves at construction time).
@@ -68,7 +68,7 @@ def warm_start_enabled() -> bool:
     """Whether ``waterfill_batch`` runs in incremental warm-start mode."""
     if _WARM_START_OVERRIDE is not None:
         return _WARM_START_OVERRIDE
-    return os.environ.get("REPRO_WATERFILL_WARM_START", "1") != "0"
+    return read_flag("REPRO_WATERFILL_WARM_START") != "0"
 
 
 def set_warm_start(enabled: Optional[bool]) -> None:

@@ -22,11 +22,24 @@ benchmark records a template-cold vs template-warm breakdown into
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Sequence
 
 #: Phase fields of :class:`~repro.sweep.runner.SweepResult`, in metric-vector
 #: order (appended to ``METRIC_FIELDS`` so phases survive pool transport).
 PHASE_FIELDS = ("setup_s", "solve_s", "advance_s", "store_s")
+
+
+def phase_clock() -> float:
+    """The wall clock behind every phase measurement (``perf_counter``).
+
+    This module is the single allow-listed home of wall-clock reads (lint
+    rule ``DET02``): phase timings are *observability* fields — they never
+    feed a simulation result, a cache key, or result ordering — and funneling
+    every read through here keeps that provable by grep.  Timing code
+    elsewhere calls :func:`phase_clock` instead of importing :mod:`time`.
+    """
+    return time.perf_counter()
 
 
 class PhaseAccumulator:

@@ -22,13 +22,14 @@ from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.spec import ClusterSpec
+from repro.core.caches import clear_all_caches
 from repro.core.runtime import IterationResult, RuntimeOptions, TrainingSimulator
 from repro.fabric.base import Fabric
 from repro.moe.models import MoEModelConfig
 from repro.moe.trace import IterationRecord
 from repro.sim.executor import Executor
 from repro.sim.flows import service_advance_requests
-from repro.sweep.phases import PHASE_FIELDS, PhaseAccumulator
+from repro.sweep.phases import PHASE_FIELDS, PhaseAccumulator, phase_clock
 from repro.sweep.pool import (
     ACK,
     DONE,
@@ -238,17 +239,17 @@ def run_config(
     (``setup_s`` = materialisation through executor construction, ``solve_s``
     = the fluid solve), so profiles of folded and unfolded runs line up.
     """
-    start = time.perf_counter()
+    start = phase_clock()
     model, cluster, fabric, options = _materialise(config, solver)
     simulator = TrainingSimulator(model, cluster, fabric, options=options)
     prepared = simulator._prepare_iteration(None, parse_failure(config.failure))
     executor = Executor(prepared.graph, prepared.region, solver=options.fluid_solver)
-    setup_end = time.perf_counter()
+    setup_end = phase_clock()
     execution = executor.run()
-    solve_end = time.perf_counter()
+    solve_end = phase_clock()
     result = simulator._compose_result(prepared, execution)
     sweep_result = SweepResult.from_iteration(
-        config, result, time.perf_counter() - start, config_hash=config_hash
+        config, result, phase_clock() - start, config_hash=config_hash
     )
     sweep_result.setup_s = setup_end - start
     sweep_result.solve_s = solve_end - setup_end
@@ -270,7 +271,7 @@ def iter_run_config(
     artifacts instead of rebuilding them; results are bit-identical either
     way (``tests/test_sweep_template.py``).
     """
-    start = time.perf_counter()
+    start = phase_clock()
     model, cluster, fabric, options = _materialise(config, solver)
     simulator = TrainingSimulator(
         model, cluster, fabric, options=options, template=template
@@ -279,7 +280,7 @@ def iter_run_config(
         failure=parse_failure(config.failure)
     )
     return SweepResult.from_iteration(
-        config, result, time.perf_counter() - start, config_hash=config_hash
+        config, result, phase_clock() - start, config_hash=config_hash
     )
 
 
@@ -401,6 +402,17 @@ def _fold_shard_task(
             board.close()
 
 
+def _reset_caches_task(emit) -> None:
+    """Worker-side cache reset: walk the registry, report what was cleared.
+
+    Lives at module level so it pickles under every start method.  The emit
+    payload (the sorted cache names walked) lets the parent — and the pool
+    reset test — assert the walk covered every registered cache, including
+    ones registered after this function was written.
+    """
+    emit(clear_all_caches())
+
+
 @dataclass
 class SweepError:
     """Structured record of one configuration that failed to simulate."""
@@ -481,6 +493,47 @@ class SweepRunner:
         """
         if self.workers > 1:
             self._ensure_pool()
+
+    def reset_caches(self, timeout_s: float = 30.0) -> None:
+        """Clear every registered cache locally and in the live pool workers.
+
+        Both sides route through :func:`repro.core.caches.clear_all_caches`
+        (the registry walk), so a cache added later participates without
+        this method changing.  Worker resets run as ordinary pool tasks and
+        are drained synchronously; a worker that dies mid-reset is skipped —
+        its replacement starts with empty caches anyway.  A pool that was
+        never spawned has nothing to reset.
+        """
+        clear_all_caches()
+        pool = self._pool
+        if pool is None:
+            return
+        pending: Dict[int, int] = {}
+        for worker_id in range(pool.workers):
+            if pool.is_alive(worker_id):
+                task_id = pool.submit(worker_id, _reset_caches_task, ())
+                pending[task_id] = worker_id
+        deadline = time.monotonic() + timeout_s
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"worker cache reset timed out with {len(pending)} "
+                    f"task(s) outstanding"
+                )
+            try:
+                kind, _worker_id, task_id, _payload = pool.events(
+                    timeout=min(remaining, 0.5)
+                )
+            except queue_mod.Empty:
+                pending = {
+                    task_id: worker_id
+                    for task_id, worker_id in pending.items()
+                    if pool.is_alive(worker_id)
+                }
+                continue
+            if kind in (DONE, TASK_ERROR):
+                pending.pop(task_id, None)
 
     def close(self) -> None:
         """Shut the persistent pool down (idempotent)."""
@@ -876,12 +929,12 @@ class FoldedSweepRunner(SweepRunner):
 
         admit()
         while live:
-            solve_start = time.perf_counter()
+            solve_start = phase_clock()
             outcomes = service_advance_requests([entry[2] for entry in live])
             # The batched solve serves every live config at once; share its
             # wall time equally — the split is a reporting convention, the
             # total is exact.
-            solve_share = (time.perf_counter() - solve_start) / len(live)
+            solve_share = (phase_clock() - solve_start) / len(live)
             stepping, live = live, []
             for (index, generator, _), outcome in zip(stepping, outcomes):
                 phases_of[index].solve_s += solve_share
@@ -902,10 +955,10 @@ class FoldedSweepRunner(SweepRunner):
 
     def _record(self, index, result, results, phases=None, source="none") -> None:
         """One configuration finished: cache it, place it, stream it."""
-        store_start = time.perf_counter()
+        store_start = phase_clock()
         self._cache_store(result)
         if phases is not None:
-            phases.store_s = time.perf_counter() - store_start
+            phases.store_s = phase_clock() - store_start
             phases.apply(result)
         result.template_source = source
         results[index] = result
@@ -915,7 +968,7 @@ class FoldedSweepRunner(SweepRunner):
     def _step(self, index, generator, outcome, live, hashes, results, errors,
               phases_of=None, source_of=None):
         phases = phases_of.get(index) if phases_of is not None else None
-        step_start = time.perf_counter()
+        step_start = phase_clock()
         try:
             if outcome is None:
                 request = next(generator)
@@ -923,7 +976,7 @@ class FoldedSweepRunner(SweepRunner):
                 request = generator.send(outcome)
         except StopIteration as stop:
             if phases is not None:
-                elapsed = time.perf_counter() - step_start
+                elapsed = phase_clock() - step_start
                 if outcome is None:
                     phases.setup_s += elapsed
                 else:
@@ -934,7 +987,7 @@ class FoldedSweepRunner(SweepRunner):
             self._run_unfolded(index, hashes, results, errors)
         else:
             if phases is not None:
-                elapsed = time.perf_counter() - step_start
+                elapsed = phase_clock() - step_start
                 # The first step runs materialisation + simulator + DAG build
                 # up to the first flow batch: that is setup.  Later steps are
                 # Python-side task bookkeeping between solves: advance.

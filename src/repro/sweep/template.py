@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.caches import register_cache
 from repro.core.reconfigure import CircuitAllocation
 
 #: Bumped whenever the on-disk template payload layout (or the meaning of a
@@ -355,3 +356,93 @@ def clear_template_cache() -> None:
     _TEMPLATE_CACHE.clear()
     for name in TEMPLATE_STATS:
         TEMPLATE_STATS[name] = 0
+
+
+def _memo_family(attr: str):
+    """(clear, size) hooks over one instance-memo dict of every live template.
+
+    The per-:class:`StructuralTemplate` memos are not module-level stores, so
+    they register as a *family*: clearing walks the templates currently in
+    :data:`_TEMPLATE_CACHE` (templates outside it die with their owner), and
+    the cap is enforced per instance by the accessor methods.
+    """
+
+    def _clear() -> None:
+        for template in _TEMPLATE_CACHE.values():
+            getattr(template, attr).clear()
+
+    def _size() -> int:
+        return sum(len(getattr(t, attr)) for t in _TEMPLATE_CACHE.values())
+
+    return _clear, _size
+
+
+register_cache(
+    "repro.sweep.template._TEMPLATE_CACHE",
+    _TEMPLATE_CACHE,
+    axes=(
+        "fabric",
+        "model",
+        "first_a2a_policy",
+        "failure",
+        "num_servers",
+        "ocs_nics",
+    ),
+    cap=_TEMPLATE_CACHE_LIMIT,
+    doc="Structural templates keyed by SweepConfig.structural_key; every "
+    "value inside is additionally keyed by its stamped axes.",
+    clear=clear_template_cache,
+)
+
+_regions_clear, _regions_size = _memo_family("_regions")
+register_cache(
+    "repro.sweep.template.StructuralTemplate._regions",
+    axes=("nic_bandwidth_gbps", "seed"),
+    cap=_REGION_LIMIT,
+    doc="Fabric region blueprints, stamped per config via clone().",
+    clear=_regions_clear,
+    size=_regions_size,
+)
+_profiles_clear, _profiles_size = _memo_family("_profiles")
+register_cache(
+    "repro.sweep.template.StructuralTemplate._profiles",
+    axes=("gpu", "micro_batch_size"),
+    cap=_PROFILE_LIMIT,
+    doc="Analytic per-block compute profiles.",
+    clear=_profiles_clear,
+    size=_profiles_size,
+)
+_allocations_clear, _allocations_size = _memo_family("_allocations")
+register_cache(
+    "repro.sweep.template.StructuralTemplate._allocations",
+    axes=(
+        "seed",
+        "micro_batch_size",
+        "optical_degree",
+        "reconfig_engine",
+        "nic_bandwidth_gbps",
+    ),
+    cap=_ALLOCATION_LIMIT,
+    doc="Algorithm 1 circuit allocations for the memoised demand record "
+    "(exact and uniform plans).",
+    clear=_allocations_clear,
+    size=_allocations_size,
+)
+_hints_clear, _hints_size = _memo_family("_hints")
+register_cache(
+    "repro.sweep.template.StructuralTemplate._hints",
+    axes=("seed", "layers"),
+    cap=_HINT_LIMIT,
+    doc="TopoOpt profiled-average demand hints (read-only arrays).",
+    clear=_hints_clear,
+    size=_hints_size,
+)
+_records_clear, _records_size = _memo_family("_records")
+register_cache(
+    "repro.sweep.template.StructuralTemplate._records",
+    axes=("model", "seed", "iteration"),
+    cap=_RECORD_LIMIT,
+    doc="Demand records pinned past _RECORD_CACHE cap clears.",
+    clear=_records_clear,
+    size=_records_size,
+)

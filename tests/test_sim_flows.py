@@ -368,7 +368,7 @@ class TestCompileRace:
         def cdef(self, *_args, **_kwargs):
             pass
 
-        def set_source(self, _name, _source):
+        def set_source(self, _name, _source, **_kwargs):
             pass
 
         def compile(self, tmpdir, verbose=False):
