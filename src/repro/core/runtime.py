@@ -45,7 +45,7 @@ from repro.moe.parallelism import ParallelismPlan
 from repro.moe.profile import ComputeProfiler
 from repro.moe.trace import IterationRecord, generate_trace
 from repro.moe.traffic import activation_bytes, dp_bytes_per_gpu
-from repro.sim.dag import RouteKind, TaskGraph
+from repro.sim.dag import AdmissionPlan, RouteKind, TaskGraph
 from repro.sim.executor import Executor
 
 #: Policies for handling the forward pass's first all-to-all (§5.1, §B.2).
@@ -235,6 +235,14 @@ class IterationResult:
     compute_time_s: float
     num_micro_batches: int
     tokens_per_iteration: float
+    #: Executor event-loop observability (DESIGN.md §10): events is the
+    #: number of executor events consumed; solve_rounds / rounds_replayed
+    #: count water-filling rounds executed vs. inherited from the
+    #: incremental kernel's freeze record (both 0 outside the folded
+    #: native-batch path).
+    events: int = 0
+    solve_rounds: int = 0
+    rounds_replayed: int = 0
 
     @property
     def tokens_per_second(self) -> float:
@@ -514,6 +522,9 @@ class TrainingSimulator:
             compute_time_s=prepared.compute_total,
             num_micro_batches=micro_batches,
             tokens_per_iteration=tokens,
+            events=execution.events,
+            solve_rounds=execution.solve_rounds,
+            rounds_replayed=execution.rounds_replayed,
         )
 
     def simulate_iteration(
@@ -745,6 +756,48 @@ class TrainingSimulator:
             adjusted_flow_cache[adjusted_key] = adjusted
             return adjusted
 
+        # Template-staged flow admission (DESIGN.md §10): for the memoised
+        # default record, the executor-side admission artifacts — zero-size
+        # filter, route keys, flow-id strings — are computed once per
+        # (task, stamped numerics) and stamped into the Task, so
+        # ``start_task`` admits from prebuilt tuples instead of re-deriving
+        # them per config.  The key mirrors the registered axes of the
+        # ``_admissions`` memo family: task id, seed, micro-batch size, both
+        # collective efficiencies and the circuit-holding pairs (everything
+        # else that shapes the adjusted flow list is structural).
+        admission_base: Optional[tuple] = None
+        if template is not None and shareable:
+            admission_base = (
+                options.seed,
+                mbs,
+                options.ocs_collective_efficiency,
+                options.eps_collective_efficiency,
+            )
+
+        # The circuit-pair component of the memo key is shared by every task
+        # staged under the same allocation; compute it once per allocation
+        # object instead of once per task.
+        pairs_of_allocation: Dict[int, Optional[frozenset]] = {}
+
+        def stage_admission(task, allocation: Optional[CircuitAllocation]) -> None:
+            if admission_base is None:
+                return
+            if allocation is None:
+                circuit_pairs: Optional[frozenset] = None
+            else:
+                circuit_pairs = pairs_of_allocation.get(id(allocation))
+                if circuit_pairs is None:
+                    circuit_pairs = frozenset(
+                        p for p, n in allocation.circuits.items() if n > 0
+                    )
+                    pairs_of_allocation[id(allocation)] = circuit_pairs
+            key = (task.task_id,) + admission_base + (circuit_pairs,)
+            plan = template.admission(key)
+            if plan is None:
+                plan = AdmissionPlan.from_specs(task.task_id, task.flow_specs)
+                template.store_admission(key, plan)
+            task.admission = plan
+
         prev: Optional[str] = None
         previous_exact: Optional[CircuitAllocation] = None
         # ------------------------------------------------------------ forward
@@ -790,6 +843,7 @@ class TrainingSimulator:
                 ep_flows(layer, matrix, transpose=False, allocation=a2a1_allocation),
                 deps=a2a1_deps,
             )
+            stage_admission(a2a1, a2a1_allocation)
             experts = graph.add_compute(
                 f"L{layer}.fwd.experts",
                 profile.experts + tp_time / 4.0 + penalty / 2.0,
@@ -810,6 +864,7 @@ class TrainingSimulator:
                 ep_flows(layer, matrix, transpose=True, allocation=exact_allocation),
                 deps=a2a2_deps,
             )
+            stage_admission(a2a2, exact_allocation)
             norm = graph.add_compute(
                 f"L{layer}.fwd.add_norm", profile.add_norm, deps=[a2a2.task_id]
             )
@@ -842,6 +897,7 @@ class TrainingSimulator:
                 ep_flows(layer, matrix, transpose=True, allocation=exact_allocation),
                 deps=a2a1_deps,
             )
+            stage_admission(a2a_b1, exact_allocation)
             experts_b = graph.add_compute(
                 f"L{layer}.bwd.experts",
                 (profile.experts + tp_time / 4.0 + penalty / 2.0) * 2.0,
@@ -853,6 +909,7 @@ class TrainingSimulator:
                 ep_flows(layer, matrix, transpose=False, allocation=exact_allocation),
                 deps=[experts_b.task_id],
             )
+            stage_admission(a2a_b2, exact_allocation)
             attn_b = graph.add_compute(
                 f"L{layer}.bwd.attention",
                 (profile.attention + profile.gate + tp_time / 4.0 + penalty / 2.0) * 2.0,

@@ -80,6 +80,15 @@ declare_flag(
     "DESIGN.md §7",
 )
 declare_flag(
+    "REPRO_WATERFILL_INCREMENTAL",
+    "1",
+    "Incremental freeze-level replay mode of the native waterfill_batch "
+    "kernel (0 falls back to warm-start). Bit-identical by construction — "
+    "the replay re-applies the recorded freeze prefix in its original "
+    "order; differential-tested against the scalar and numpy solvers.",
+    "DESIGN.md §10",
+)
+declare_flag(
     "REPRO_NATIVE_CFLAGS",
     "",
     "Extra compile/link flags for the cffi waterfill kernel (e.g. "

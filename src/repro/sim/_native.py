@@ -54,15 +54,27 @@ C_SOURCE = r"""
  * with the smallest residual fair share (first row wins ties, matching the
  * reference's registration-order scan), freezes every unfrozen flow
  * crossing it at that share, and retires the frozen flows' contributions.
+ *
+ * When `level_of` is non-NULL the freeze structure is recorded for the
+ * incremental replay in waterfill_batch: level_of[f - f0] is the round a
+ * flow froze in, freeze_order[] lists frozen flows in freeze order, and
+ * round_log[k] is the freeze_order offset at the start of round k.
+ * `round` is the starting round index (0 for a full solve, L for a replay)
+ * and `fo_count` the matching freeze_order prefix length; unconstrained
+ * (infinite-rate) flows get a level but no freeze_order entry because they
+ * subtract nothing.  Returns the round index after the last executed round.
  */
-static void waterfill_rounds(int f0, int num_flows, int row0, int num_rows,
-                             const int *flow_ptr, const int *flow_rows,
-                             const unsigned char *active, double *rates,
-                             double *residual, int *counts,
-                             const int *row_ptr, const int *row_flows,
-                             unsigned char *frozen, int remaining)
+static int waterfill_rounds(int f0, int num_flows, int row0, int num_rows,
+                            const int *flow_ptr, const int *flow_rows,
+                            const unsigned char *active, double *rates,
+                            double *residual, int *counts,
+                            const int *row_ptr, const int *row_flows,
+                            unsigned char *frozen, int remaining,
+                            int round, int *level_of, int *freeze_order,
+                            int *round_log, int fo_count)
 {
     while (remaining > 0) {
+        if (level_of) round_log[round] = fo_count;
         int best = -1;
         double best_share = 0.0;
         for (int r = 0; r < num_rows; r++) {
@@ -75,7 +87,10 @@ static void waterfill_rounds(int f0, int num_flows, int row0, int num_rows,
              * rate; in practice every path has at least one finite link. */
             for (int f = f0; f < f0 + num_flows; f++) {
                 if (active && !active[f]) continue;
-                if (!frozen[f - f0]) rates[f] = INFINITY;
+                if (!frozen[f - f0]) {
+                    rates[f] = INFINITY;
+                    if (level_of) level_of[f - f0] = round;
+                }
             }
             break;
         }
@@ -86,6 +101,10 @@ static void waterfill_rounds(int f0, int num_flows, int row0, int num_rows,
             if (frozen[f - f0]) continue;
             frozen[f - f0] = 1;
             rates[f] = share;
+            if (level_of) {
+                level_of[f - f0] = round;
+                freeze_order[fo_count++] = f;
+            }
             remaining--;
             for (int j = flow_ptr[f]; j < flow_ptr[f + 1]; j++) {
                 int r = flow_rows[j] - row0;
@@ -94,7 +113,10 @@ static void waterfill_rounds(int f0, int num_flows, int row0, int num_rows,
                 counts[r]--;
             }
         }
+        round++;
     }
+    if (level_of) round_log[round] = fo_count;
+    return round;
 }
 
 /* Exact max-min progressive water-filling over one block, honouring an
@@ -111,13 +133,14 @@ static void waterfill_rounds(int f0, int num_flows, int row0, int num_rows,
  * active flow set on every call; the warm-start path in waterfill_batch
  * maintains the same bookkeeping incrementally instead.  Scratch buffers
  * are caller-provided so the batch loop allocates exactly once per call.
+ * Returns the number of water-filling rounds executed.
  */
-static void solve_block(int f0, int num_flows, int row0, int num_rows,
-                        const int *flow_ptr, const int *flow_rows,
-                        const double *caps, const unsigned char *active,
-                        double *rates,
-                        double *residual, int *counts, int *row_ptr,
-                        int *row_flows, int *fill, unsigned char *frozen)
+static int solve_block(int f0, int num_flows, int row0, int num_rows,
+                       const int *flow_ptr, const int *flow_rows,
+                       const double *caps, const unsigned char *active,
+                       double *rates,
+                       double *residual, int *counts, int *row_ptr,
+                       int *row_flows, int *fill, unsigned char *frozen)
 {
     int remaining = 0;
     memset(counts, 0, (size_t)num_rows * sizeof(int));
@@ -130,7 +153,7 @@ static void solve_block(int f0, int num_flows, int row0, int num_rows,
         for (int k = flow_ptr[f]; k < flow_ptr[f + 1]; k++)
             counts[flow_rows[k] - row0]++;
     }
-    if (remaining == 0) return;
+    if (remaining == 0) return 0;
     row_ptr[0] = 0;
     for (int r = 0; r < num_rows; r++) row_ptr[r + 1] = row_ptr[r] + counts[r];
     for (int f = f0; f < f0 + num_flows; f++) {
@@ -141,9 +164,10 @@ static void solve_block(int f0, int num_flows, int row0, int num_rows,
         }
     }
     memcpy(residual, caps + row0, (size_t)num_rows * sizeof(double));
-    waterfill_rounds(f0, num_flows, row0, num_rows, flow_ptr, flow_rows,
-                     active, rates, residual, counts, row_ptr, row_flows,
-                     frozen, remaining);
+    return waterfill_rounds(f0, num_flows, row0, num_rows, flow_ptr,
+                            flow_rows, active, rates, residual, counts,
+                            row_ptr, row_flows, frozen, remaining,
+                            0, NULL, NULL, NULL, 0);
 }
 
 /* One-shot solve (the per-event path).  Returns WF_OOM when scratch memory
@@ -196,14 +220,33 @@ done:
  * steps[b] and stop_reason[b] report each block's outcome.  Returns WF_OOM
  * (without touching any block) when scratch allocation fails.
  *
- * warm_start != 0 selects the incremental mode: instead of rebuilding the
- * per-row bookkeeping from scratch before every solve (O(nnz) per event),
- * each block builds its buckets once over ALL of its flows, counts active
- * traversals once, and then carries both across the solve -> advance loop —
- * retiring a finished flow subtracts its path from the active counts.  The
- * water-filling rounds consume an O(num_rows) memcpy of those counts, so
- * they proceed over bit-identical state and produce bit-identical rates;
- * only the per-event setup cost changes.
+ * mode selects how much solver state is carried across the events of a
+ * block (every mode produces bit-identical rates; only the per-event cost
+ * changes):
+ *
+ *   mode 0 (cold): rebuild counts/buckets/residual from the active set
+ *     before every solve (O(nnz) per event) and run all rounds.
+ *   mode 1 (warm): build the buckets once over ALL of the block's flows
+ *     (retiring one never reshapes them — the rounds skip inactive
+ *     entries, preserving active order), count active traversals once,
+ *     and maintain the counts incrementally as flows retire; each solve
+ *     then costs an O(num_rows) memcpy plus all rounds.
+ *   mode 2 (incremental): additionally record the freeze structure of
+ *     each solve (level_of / freeze_order / round_log) and, on the next
+ *     solve, replay rounds [0, L) from the record — L being the minimum
+ *     freeze level among the flows retired since — by re-applying the
+ *     recorded freezes in their original order (same shares, same row
+ *     updates, same clamping: the exact FP operation sequence the full
+ *     solve would execute), then run rounds from L normally.  Exactness:
+ *     a retired flow was unfrozen during rounds < L, so removing it
+ *     leaves those rounds' residuals untouched and only lowers counts on
+ *     non-bottleneck rows, which raises their shares; each earlier
+ *     bottleneck's share is unchanged and still first-minimal, so rounds
+ *     [0, L) of the re-solve are identical by induction (DESIGN.md §10).
+ *
+ * solve_rounds[b] receives the total rounds executed for the block,
+ * rounds_replayed[b] the rounds inherited from the carried freeze record
+ * instead of re-executed (always 0 for modes 0/1).
  */
 int waterfill_batch(int num_blocks,
                     const int *block_flows, const int *block_rows,
@@ -215,7 +258,8 @@ int waterfill_batch(int num_blocks,
                     double *rates, unsigned char *active,
                     int *finished, int *finished_count,
                     double *next_flow, int *steps, int *stop_reason,
-                    const int *max_steps, int warm_start)
+                    const int *max_steps, int mode,
+                    int *solve_rounds, int *rounds_replayed)
 {
     int max_nf = 0, max_nr = 0, max_nnz = 0;
     for (int b = 0; b < num_blocks; b++) {
@@ -233,10 +277,14 @@ int waterfill_batch(int num_blocks,
     int *row_flows = (int *)malloc((size_t)(max_nnz > 0 ? max_nnz : 1) * sizeof(int));
     int *fill = (int *)malloc((size_t)(max_nr > 0 ? max_nr : 1) * sizeof(int));
     int *base_counts = (int *)malloc((size_t)(max_nr > 0 ? max_nr : 1) * sizeof(int));
+    int *level_of = (int *)malloc((size_t)(max_nf > 0 ? max_nf : 1) * sizeof(int));
+    int *freeze_order = (int *)malloc((size_t)(max_nf > 0 ? max_nf : 1) * sizeof(int));
+    int *round_log = (int *)malloc(((size_t)max_nf + 2) * sizeof(int));
     if (!residual || !counts || !frozen || !row_ptr || !row_flows || !fill
-        || !base_counts) {
+        || !base_counts || !level_of || !freeze_order || !round_log) {
         free(residual); free(counts); free(frozen);
         free(row_ptr); free(row_flows); free(fill); free(base_counts);
+        free(level_of); free(freeze_order); free(round_log);
         return WF_OOM;
     }
 
@@ -247,8 +295,11 @@ int waterfill_batch(int num_blocks,
         int fcount = 0, st = 0;
         int reason = WF_STOP_STALL;
         int active_n = 0;
+        int exec_rounds = 0, inherited_rounds = 0;
+        int recorded = 0;   /* a freeze record exists for this block */
+        int min_level = 0;  /* replay start: min level among retired flows */
         next_flow[b] = INFINITY;
-        if (warm_start) {
+        if (mode) {
             /* Persistent block bookkeeping: buckets over every flow (so
              * retiring one never reshapes them — the rounds skip inactive
              * entries, preserving active order) and active-only traversal
@@ -274,7 +325,51 @@ int waterfill_batch(int num_blocks,
             }
         }
         for (;;) {
-            if (warm_start) {
+            if (mode == 2) {
+                if (active_n > 0) {
+                    int start = recorded ? min_level : 0;
+                    int prefix = start > 0 ? round_log[start] : 0;
+                    /* Reconstruct the state at the start of round `start`:
+                     * base counts (retired flows already subtracted) and
+                     * full residual, then the recorded prefix freezes in
+                     * their original order.  Prefix flows all survive —
+                     * their level is below every retired flow's. */
+                    memcpy(counts, base_counts, (size_t)nr * sizeof(int));
+                    memcpy(residual, caps + row0, (size_t)nr * sizeof(double));
+                    int unfrozen = active_n;
+                    for (int f = f0; f < f1; f++) {
+                        if (!active[f]) continue;
+                        frozen[f - f0] = 0;
+                    }
+                    for (int i = 0; i < prefix; i++) {
+                        int f = freeze_order[i];
+                        double share = rates[f];
+                        frozen[f - f0] = 1;
+                        unfrozen--;
+                        for (int j = flow_ptr[f]; j < flow_ptr[f + 1]; j++) {
+                            int r = flow_rows[j] - row0;
+                            double v = residual[r] - share;
+                            residual[r] = v > 0.0 ? v : 0.0;
+                            counts[r]--;
+                        }
+                    }
+                    for (int f = f0; f < f1; f++) {
+                        if (!active[f] || frozen[f - f0]) continue;
+                        rates[f] = 0.0;
+                    }
+                    int total = waterfill_rounds(f0, f1 - f0, row0, nr,
+                                                 flow_ptr, flow_rows, active,
+                                                 rates, residual, counts,
+                                                 row_ptr, row_flows, frozen,
+                                                 unfrozen, start, level_of,
+                                                 freeze_order, round_log,
+                                                 prefix);
+                    exec_rounds += total - start;
+                    inherited_rounds += start;
+                    recorded = 1;
+                    min_level = total;
+                }
+            } else if (mode == 1) {
                 if (active_n > 0) {
                     memcpy(counts, base_counts, (size_t)nr * sizeof(int));
                     memcpy(residual, caps + row0, (size_t)nr * sizeof(double));
@@ -283,15 +378,16 @@ int waterfill_batch(int num_blocks,
                         frozen[f - f0] = 0;
                         rates[f] = 0.0;
                     }
-                    waterfill_rounds(f0, f1 - f0, row0, nr, flow_ptr,
-                                     flow_rows, active, rates, residual,
-                                     counts, row_ptr, row_flows, frozen,
-                                     active_n);
+                    exec_rounds += waterfill_rounds(
+                        f0, f1 - f0, row0, nr, flow_ptr, flow_rows, active,
+                        rates, residual, counts, row_ptr, row_flows, frozen,
+                        active_n, 0, NULL, NULL, NULL, 0);
                 }
             } else {
-                solve_block(f0, f1 - f0, row0, nr, flow_ptr, flow_rows, caps,
-                            active, rates, residual, counts, row_ptr,
-                            row_flows, fill, frozen);
+                exec_rounds += solve_block(
+                    f0, f1 - f0, row0, nr, flow_ptr, flow_rows, caps,
+                    active, rates, residual, counts, row_ptr, row_flows,
+                    fill, frozen);
             }
             /* Earliest completion: strict < keeps the first flow on exact
              * ties, like the Python dict scan. */
@@ -323,11 +419,13 @@ int waterfill_batch(int num_blocks,
                 if (remaining[f] <= threshold[f]) {
                     finished[f0 + fcount++] = f;
                     active[f] = 0;
-                    if (warm_start) {
+                    if (mode) {
                         active_n--;
                         for (int j = flow_ptr[f]; j < flow_ptr[f + 1]; j++)
                             base_counts[flow_rows[j] - row0]--;
                     }
+                    if (mode == 2 && level_of[f - f0] < min_level)
+                        min_level = level_of[f - f0];
                     int g = group_of[f];
                     if (g >= 0 && --group_left[g] == 0) group_done = 1;
                 }
@@ -340,10 +438,13 @@ int waterfill_batch(int num_blocks,
         finished_count[b] = fcount;
         steps[b] = st;
         stop_reason[b] = reason;
+        solve_rounds[b] = exec_rounds;
+        rounds_replayed[b] = inherited_rounds;
     }
 
     free(residual); free(counts); free(frozen);
     free(row_ptr); free(row_flows); free(fill); free(base_counts);
+    free(level_of); free(freeze_order); free(round_log);
     return WF_OK;
 }
 """
@@ -362,7 +463,8 @@ int waterfill_batch(int num_blocks,
                     double *rates, unsigned char *active,
                     int *finished, int *finished_count,
                     double *next_flow, int *steps, int *stop_reason,
-                    const int *max_steps, int warm_start);
+                    const int *max_steps, int mode,
+                    int *solve_rounds, int *rounds_replayed);
 """
 
 _LOADED: Optional[Tuple[object, object]] = None

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 class TaskKind(str, Enum):
@@ -45,6 +47,70 @@ class FlowSpec:
             raise ValueError("size_bytes must be non-negative")
 
 
+@dataclass(frozen=True)
+class AdmissionPlan:
+    """Pre-staged admission artifacts for one communication task.
+
+    Built once per structural template and stamped into every config that
+    shares it (DESIGN.md §10): the executor's ``start_task`` admits flows by
+    iterating ``flows`` directly instead of re-filtering ``flow_specs``,
+    re-deriving route keys and re-formatting flow ids per config.  Entries
+    are ``(flow_id, size_bytes, (src, dst, route), is_ep)`` in the same
+    order (and with the same zero-size filter) as the ``flow_specs`` loop,
+    so per-flow bookkeeping — including the ``comm_bytes`` float
+    accumulation — runs the identical operation sequence and results stay
+    bit-identical with or without a plan.
+    """
+
+    flows: Tuple[Tuple[str, float, Tuple[int, int, RouteKind], bool], ...]
+    # Lazily-built (sizes, finish_thresholds) float64 arrays aligned with
+    # ``flows`` — see :meth:`staged_arrays`.  Excluded from equality: the
+    # arrays are a pure function of ``flows``.
+    _staged_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def staged_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-flow ``(sizes, finish_thresholds)`` arrays for bulk admission.
+
+        Fresh flows start with ``remaining_bytes == size_bytes`` and
+        ``_finish_threshold == max(1e-3, 1e-9 * size_bytes)`` (the same
+        expression, evaluated in float64, that ``Flow.make`` uses), so the
+        fluid network can stamp both straight into its CSR mirrors without a
+        per-flow attribute gather.  Built on first use and cached on the
+        plan, which the structural template shares across configs.
+        """
+        arrays = self._staged_arrays
+        if arrays is None:
+            sizes = np.fromiter(
+                (entry[1] for entry in self.flows), np.float64, len(self.flows)
+            )
+            arrays = (sizes, np.maximum(1e-3, 1e-9 * sizes))
+            object.__setattr__(self, "_staged_arrays", arrays)
+        return arrays
+
+    @classmethod
+    def from_specs(cls, task_id: str, specs: Sequence[FlowSpec]) -> "AdmissionPlan":
+        """Stage ``specs`` exactly as the executor's fallback loop admits
+        them: zero-size specs skipped, flow ids numbered over admitted flows
+        only, entries in spec order."""
+        flows = []
+        index = 0
+        for spec in specs:
+            if spec.size_bytes <= 0:
+                continue
+            flows.append(
+                (
+                    f"{task_id}/f{index}",
+                    spec.size_bytes,
+                    (spec.src_server, spec.dst_server, spec.route),
+                    spec.route is RouteKind.EP,
+                )
+            )
+            index += 1
+        return cls(flows=tuple(flows))
+
+
 @dataclass
 class Task:
     """A node of the iteration DAG.
@@ -59,6 +125,9 @@ class Task:
         on_start: Callback invoked when the task starts (e.g. none needed).
         on_complete: Callback invoked when the task finishes — MixNet uses
             this to install the new OCS circuits at the end of a RECONFIG task.
+        admission: Optional pre-staged admission artifacts equivalent to
+            ``flow_specs`` (COMM tasks only); ``None`` means the executor
+            derives everything from ``flow_specs`` at start time.
     """
 
     task_id: str
@@ -69,6 +138,7 @@ class Task:
     resource: Optional[str] = None
     on_start: Optional[Callable[[], None]] = None
     on_complete: Optional[Callable[[], None]] = None
+    admission: Optional[AdmissionPlan] = None
 
     def __post_init__(self) -> None:
         if self.duration_s < 0:

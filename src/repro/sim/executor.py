@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.fabric.base import RegionNetwork
-from repro.sim.dag import FlowSpec, RouteKind, Task, TaskGraph, TaskKind
+from repro.sim.dag import RouteKind, Task, TaskGraph, TaskKind
 from repro.sim.flows import (
     Flow,
     FlowAdvanceOutcome,
@@ -29,13 +29,24 @@ from repro.sim.flows import (
 
 @dataclass
 class ExecutionResult:
-    """Outcome of one executor run."""
+    """Outcome of one executor run.
+
+    ``events`` counts executor events — one per timed-event instant plus one
+    per flow-completion instant — and is identical between :meth:`Executor.run`
+    and :meth:`Executor.iter_run` (both draw down the same ``max_events``
+    budget).  ``solve_rounds`` / ``rounds_replayed`` are native-kernel cost
+    counters (see :class:`~repro.sim.flows.FlowAdvanceOutcome`); they stay 0
+    on the per-event reference path and the Python solvers.
+    """
 
     makespan: float
     task_start_times: Dict[str, float] = field(default_factory=dict)
     task_finish_times: Dict[str, float] = field(default_factory=dict)
     comm_bytes: float = 0.0
     reconfig_time_total: float = 0.0
+    events: int = 0
+    solve_rounds: int = 0
+    rounds_replayed: int = 0
 
     def duration_of(self, task_id: str) -> float:
         return self.task_finish_times[task_id] - self.task_start_times[task_id]
@@ -65,7 +76,6 @@ class Executor:
         self.graph = graph
         self.region = region
         self.network = FluidNetwork(region, solver=solver)
-        self._flow_counter = itertools.count()
         # (src, dst, route) -> resolved path.  EP routes follow the optical
         # circuits, so that cache is cleared on topology changes; EPS and
         # intra paths are static for the lifetime of the region.
@@ -109,24 +119,24 @@ class Executor:
 
             if next_flow is None or (next_timed is not None and next_timed <= next_flow):
                 target_time = max(now, next_timed)  # type: ignore[arg-type]
-                finished_flows = (
-                    self.network.advance(target_time - now) if target_time > now else []
-                )
+                if target_time > now:
+                    self.network.advance(target_time - now)
                 state.now = target_time
                 state.complete_due_timed_events()
                 # Flows may finish at exactly the same instant as a timed task;
                 # their owning communication tasks must complete too.
-                state.complete_finished_flows(finished_flows)
+                state.complete_drained_groups()
             else:
                 # Advance by the relative step rather than the difference of
                 # absolute times, which would be absorbed to zero once the
                 # clock is many orders of magnitude larger than the step.
                 assert next_flow_dt is not None
-                finished_flows = self.network.advance(next_flow_dt)
+                self.network.advance(next_flow_dt)
                 state.now = now + next_flow_dt
-                state.complete_finished_flows(finished_flows)
+                state.complete_drained_groups()
 
         state.result.makespan = state.now
+        state.result.events = events
         return state.result
 
     def iter_run(
@@ -151,6 +161,8 @@ class Executor:
         state.start_roots()
 
         events = 0
+        solve_rounds = 0
+        rounds_replayed = 0
         while len(done) < len(tasks):
             if self.network.active_flow_count() == 0:
                 if not timed_events:
@@ -167,8 +179,10 @@ class Executor:
                 self.network, state.now, next_timed, max_events - events
             )
             events += outcome.steps
+            solve_rounds += outcome.solve_rounds
+            rounds_replayed += outcome.rounds_replayed
             state.now = outcome.now
-            state.complete_finished_flows(outcome.finished)
+            state.complete_drained_groups()
             if outcome.reason == "group":
                 continue
             if outcome.reason == "steps":
@@ -181,16 +195,16 @@ class Executor:
             if events > max_events:
                 raise RuntimeError("executor exceeded the maximum event budget")
             target_time = max(state.now, timed_events[0][0])
-            finished_flows = (
+            if target_time > state.now:
                 self.network.advance(target_time - state.now)
-                if target_time > state.now
-                else []
-            )
             state.now = target_time
             state.complete_due_timed_events()
-            state.complete_finished_flows(finished_flows)
+            state.complete_drained_groups()
 
         state.result.makespan = state.now
+        state.result.events = events
+        state.result.solve_rounds = solve_rounds
+        state.result.rounds_replayed = rounds_replayed
         return state.result
 
     def run_folded(self, max_events: int = 5_000_000) -> ExecutionResult:
@@ -205,12 +219,12 @@ class Executor:
             outcome = service_advance_requests([request])[0]
 
     # ----------------------------------------------------------------- routes
-    def _resolve_path(self, spec: FlowSpec) -> List[str]:
-        if spec.route is RouteKind.INTRA or spec.src_server == spec.dst_server:
-            return [self.region.intra_link(spec.src_server)]
-        if spec.route is RouteKind.EP:
-            return self.region.ep_path(spec.src_server, spec.dst_server)
-        return self.region.eps_path(spec.src_server, spec.dst_server)
+    def _resolve_path(self, src: int, dst: int, route: RouteKind) -> List[str]:
+        if route is RouteKind.INTRA or src == dst:
+            return [self.region.intra_link(src)]
+        if route is RouteKind.EP:
+            return self.region.ep_path(src, dst)
+        return self.region.eps_path(src, dst)
 
 
 def _deadlock_error(network: FluidNetwork) -> RuntimeError:
@@ -224,8 +238,10 @@ def _deadlock_error(network: FluidNetwork) -> RuntimeError:
 
 class _RunState:
     """DAG bookkeeping shared by :meth:`Executor.run` and
-    :meth:`Executor.iter_run` — task readiness, the timed-event heap, and the
-    flow-to-task ownership maps."""
+    :meth:`Executor.iter_run` — task readiness and the timed-event heap.
+    Comm-task completion is driven by the network's drained-group order
+    (each comm task's flows form one group), so no per-flow ownership maps
+    are maintained."""
 
     def __init__(self, executor: Executor) -> None:
         self.executor = executor
@@ -241,8 +257,6 @@ class _RunState:
         self.now = 0.0
         self.timed_events: List[Tuple[float, int, str]] = []  # (time, seq, task)
         self.seq = itertools.count()
-        self.flows_left_of_task: Dict[str, int] = {}
-        self.task_of_flow: Dict[str, str] = {}
         self.done: Set[str] = set()
 
     def start_roots(self) -> None:
@@ -261,29 +275,45 @@ class _RunState:
             comm_bytes = self.result.comm_bytes
             path_cache = executor._path_cache
             ep_path_cache = executor._ep_path_cache
-            flow_counter = executor._flow_counter
             make_flow = Flow.make
-            ep_route = RouteKind.EP
-            for spec in task.flow_specs:
-                if spec.size_bytes <= 0:
-                    continue
-                route = spec.route
-                cache = ep_path_cache if route is ep_route else path_cache
-                route_key = (spec.src_server, spec.dst_server, route)
-                path = cache.get(route_key)
-                if path is None:
-                    path = executor._resolve_path(spec)
-                    cache[route_key] = path
-                flow_id = f"{task_id}/f{next(flow_counter)}"
-                new_flows.append(make_flow(flow_id, spec.size_bytes, path))
-                comm_bytes += spec.size_bytes
+            plan = task.admission
+            if plan is not None:
+                # Template-staged admission: the zero-size filter, route
+                # keys and flow-id strings were computed once per structural
+                # template; stamping them here runs the same per-flow
+                # operation sequence as the spec loop below (same order,
+                # same comm_bytes accumulation), so results are identical.
+                for flow_id, size_bytes, route_key, is_ep in plan.flows:
+                    cache = ep_path_cache if is_ep else path_cache
+                    path = cache.get(route_key)
+                    if path is None:
+                        path = executor._resolve_path(*route_key)
+                        cache[route_key] = path
+                    new_flows.append(make_flow(flow_id, size_bytes, path))
+                    comm_bytes += size_bytes
+            else:
+                ep_route = RouteKind.EP
+                index = 0
+                for spec in task.flow_specs:
+                    if spec.size_bytes <= 0:
+                        continue
+                    route = spec.route
+                    cache = ep_path_cache if route is ep_route else path_cache
+                    route_key = (spec.src_server, spec.dst_server, route)
+                    path = cache.get(route_key)
+                    if path is None:
+                        path = executor._resolve_path(*route_key)
+                        cache[route_key] = path
+                    flow_id = f"{task_id}/f{index}"
+                    index += 1
+                    new_flows.append(make_flow(flow_id, spec.size_bytes, path))
+                    comm_bytes += spec.size_bytes
             self.result.comm_bytes = comm_bytes
             if new_flows:
-                executor.network.add_flows(new_flows, group=task_id)
-                task_of_flow = self.task_of_flow
-                for flow in new_flows:
-                    task_of_flow[flow.flow_id] = task_id
-                self.flows_left_of_task[task_id] = len(new_flows)
+                staged = None if plan is None else plan.staged_arrays()
+                executor.network.add_flows(
+                    new_flows, group=task_id, staged=staged
+                )
             else:
                 # Nothing to transfer: completes instantly.
                 heapq.heappush(self.timed_events, (self.now, next(self.seq), task_id))
@@ -320,17 +350,12 @@ class _RunState:
         for tid in finished_ids:
             self.complete_task(tid)
 
-    def complete_finished_flows(self, finished_flows: List[Flow]) -> None:
-        """Retire finished flows; complete comm tasks whose last flow ended."""
-        completed_comm: List[str] = []
-        flows_left = self.flows_left_of_task
-        for flow in finished_flows:
-            owner = self.task_of_flow.pop(flow.flow_id)
-            left = flows_left[owner] - 1
-            if left:
-                flows_left[owner] = left
-            else:
-                completed_comm.append(owner)
-                del flows_left[owner]
-        for tid in completed_comm:
-            self.complete_task(tid)
+    def complete_drained_groups(self) -> None:
+        """Complete comm tasks whose flow group drained, in drain order.
+
+        The network appends a group the moment its last flow finishes, so
+        drain order equals the old per-flow ownership bookkeeping's
+        completion order — without two dict operations per finished flow.
+        """
+        for task_id in self.executor.network.consume_drained_groups():
+            self.complete_task(task_id)

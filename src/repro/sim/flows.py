@@ -77,6 +77,29 @@ def set_warm_start(enabled: Optional[bool]) -> None:
     _WARM_START_OVERRIDE = enabled
 
 
+#: Process-wide override for the native kernel's incremental freeze-level
+#: replay mode (``None`` defers to ``REPRO_WATERFILL_INCREMENTAL``, default
+#: enabled).  The mode carries each block's freeze structure across events
+#: and replays only the rounds whose membership a retirement changed; the
+#: replay re-applies the recorded prefix in its original operation order, so
+#: results are bit-identical to a full solve (DESIGN.md §10).  Like the
+#: warm-start switch it exists for differential testing, not exploration.
+_INCREMENTAL_OVERRIDE: Optional[bool] = None
+
+
+def incremental_enabled() -> bool:
+    """Whether ``waterfill_batch`` runs in incremental freeze-replay mode."""
+    if _INCREMENTAL_OVERRIDE is not None:
+        return _INCREMENTAL_OVERRIDE
+    return read_flag("REPRO_WATERFILL_INCREMENTAL") != "0"
+
+
+def set_incremental(enabled: Optional[bool]) -> None:
+    """Override incremental mode process-wide (``None`` resets to the env)."""
+    global _INCREMENTAL_OVERRIDE
+    _INCREMENTAL_OVERRIDE = enabled
+
+
 def _resolve_solver_impl(solver: str) -> str:
     if solver in ("auto", "native"):
         from repro.sim._native import native_available
@@ -157,7 +180,8 @@ class Flow:
         flow.path = path
         flow.remaining_bytes = float(size_bytes)
         flow.rate = 0.0
-        flow._finish_threshold = max(1e-3, 1e-9 * size_bytes)
+        threshold = 1e-9 * size_bytes
+        flow._finish_threshold = threshold if threshold > 1e-3 else 1e-3
         return flow
 
 
@@ -181,10 +205,28 @@ class FluidNetwork:
         # Optional flow grouping (used by the executor to map flows back to
         # their owning communication task): the folded advance loop stops as
         # soon as any group drains, because completing the owning task needs
-        # Python.  Groups are orthogonal to the rate solvers.
+        # Python.  Groups are orthogonal to the rate solvers.  Drained groups
+        # accumulate in drain order (the order their last flow finished) until
+        # the owner consumes them via consume_drained_groups().
         self._flow_group: Dict[str, object] = {}
         self._group_left: Dict[object, int] = {}
-        self._drained_groups: set = set()
+        self._drained_groups: List[object] = []
+        # Per-network remaining-bytes mirror aligned with _csr_flows.  Synced
+        # means the mirror matches every flow's remaining_bytes under the
+        # current CSR layout, letting the batch assembly copy an array slice
+        # instead of gathering the attribute per flow; any flow mutation or
+        # layout change outside the batch path clears the bit (the attribute
+        # gather is always correct, just slower).
+        self._rem_buf = np.zeros(0)
+        self._rem_synced = False
+        # Lazy flow-attribute mirror: after a batched kernel call the
+        # surviving flows' ``rate``/``remaining_bytes`` live only in
+        # _rate_buf/_rem_buf until a Python-path consumer forces
+        # _sync_flow_attrs().  On the folded path most networks drain
+        # completely before anything reads the attributes, so the per-flow
+        # writeback loop is skipped entirely.
+        self._rate_buf = np.zeros(0)
+        self._attrs_synced = True
         if self.solver != "scalar":
             self._init_incremental_state()
 
@@ -264,12 +306,40 @@ class FluidNetwork:
     # --------------------------------------------------------------- flow ops
     @property
     def flows(self) -> Dict[str, Flow]:
+        self._sync_flow_attrs()
         return dict(self._flows)
 
     def active_flow_count(self) -> int:
         return len(self._flows)
 
+    def _sync_flow_attrs(self) -> None:
+        """Write deferred ``rate``/``remaining_bytes`` back onto the flows.
+
+        :func:`_advance_native_batch` parks each block's post-advance rates
+        and remaining bytes in ``_rate_buf``/``_rem_buf`` (retired flows get
+        their attributes at retirement) instead of looping over every
+        surviving flow; any Python-path reader or mutator must call this
+        first.  A drained network — the dominant folded pattern — makes it a
+        no-op.
+        """
+        if self._attrs_synced:
+            return
+        self._attrs_synced = True
+        if not self._flows:
+            return
+        flows = self._csr_flows
+        count = len(flows)
+        active = self._active_buf[:count].tolist()
+        rate_list = self._rate_buf[:count].tolist()
+        rem_list = self._rem_buf[:count].tolist()
+        for index, is_active in enumerate(active):
+            if is_active:
+                flow = flows[index]
+                flow.rate = rate_list[index]
+                flow.remaining_bytes = rem_list[index]
+
     def add_flow(self, flow: Flow, group: Optional[object] = None) -> None:
+        self._sync_flow_attrs()
         if flow.flow_id in self._flows:
             raise ValueError(f"duplicate flow id {flow.flow_id!r}")
         for link_id in flow.path:
@@ -287,9 +357,15 @@ class FluidNetwork:
                     self._row_flows[row].append(flow)
                     self._count_list[row] += 1
             self._csr_valid = False
+        self._rem_synced = False
         self._rates_dirty = True
 
-    def add_flows(self, flows: Sequence[Flow], group: Optional[object] = None) -> None:
+    def add_flows(
+        self,
+        flows: Sequence[Flow],
+        group: Optional[object] = None,
+        staged: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
         """Bulk :meth:`add_flow`: one bookkeeping pass for a task's flow batch.
 
         Semantically identical to calling :meth:`add_flow` per flow in order,
@@ -298,9 +374,18 @@ class FluidNetwork:
         hottest path of graph construction.  Unknown-link validation runs
         only the first time a path is seen; a path that validated once stays
         valid because incidence rows are never reassigned.
+
+        ``staged`` is an optional ``(remaining, finish_thresholds)`` float64
+        array pair aligned with ``flows`` (see
+        :meth:`AdmissionPlan.staged_arrays`): when the batch lands on an
+        empty network, the arrays are copied straight into the CSR mirrors,
+        skipping both the per-flow threshold gather here and the
+        remaining-bytes gather in the next batched advance.
         """
         if not flows:
             return
+        self._sync_flow_attrs()
+        rem_synced = False
         links = self.region.links
         flow_map = self._flows
         if self.solver == "scalar":
@@ -336,10 +421,20 @@ class FluidNetwork:
             )
             flow_rows: List[int] = []
             flow_ptr: List[int] = [0]
+            # Bulk-register ids first (two C-speed dict ops instead of a
+            # membership probe plus a setitem per flow); a length mismatch
+            # means a duplicate, identified on the cold path below.
+            flow_ids = [flow.flow_id for flow in flows]
+            before = len(flow_map)
+            flow_map.update(zip(flow_ids, flows))
+            if len(flow_map) != before + len(flows):
+                seen: set = set()
+                for flow_id in flow_ids:
+                    if flow_id in seen or flow_id in path_rows:
+                        raise ValueError(f"duplicate flow id {flow_id!r}")
+                    seen.add(flow_id)
+            rows_list: List[List[int]] = []
             for flow in flows:
-                flow_id = flow.flow_id
-                if flow_id in flow_map:
-                    raise ValueError(f"duplicate flow id {flow_id!r}")
                 path = flow.path
                 entry = rows_of_path.get(id(path))
                 if entry is None:
@@ -347,7 +442,8 @@ class FluidNetwork:
                     for link_id in path:
                         if link_id not in links:
                             raise KeyError(
-                                f"flow {flow_id} uses unknown link {link_id!r}"
+                                f"flow {flow.flow_id} uses unknown link "
+                                f"{link_id!r}"
                             )
                         row = row_of(link_id)
                         rows.append(
@@ -356,8 +452,7 @@ class FluidNetwork:
                     rows_of_path[id(path)] = (path, rows)
                 else:
                     rows = entry[1]
-                flow_map[flow_id] = flow
-                path_rows[flow_id] = rows
+                rows_list.append(rows)
                 if maintains:
                     for row in rows:
                         row_flows[row].append(flow)
@@ -365,15 +460,28 @@ class FluidNetwork:
                 elif fuse_csr:
                     flow_rows.extend(rows)
                     flow_ptr.append(len(flow_rows))
+            path_rows.update(zip(flow_ids, rows_list))
             if fuse_csr:
                 count = len(flows)
                 self._ensure_native_buffers(count, len(flow_rows))
                 self._ptr_buf[: len(flow_ptr)] = flow_ptr
                 self._rows_buf[: len(flow_rows)] = flow_rows
                 self._csr_flows = list(flows)
-                self._thr_buf[:count] = [
-                    flow._finish_threshold for flow in flows
-                ]
+                if staged is not None:
+                    self._thr_buf[:count] = staged[1]
+                    # Fresh flows: remaining == size, so the mirror can be
+                    # stamped now and the next batched advance skips its
+                    # remaining-bytes gather entirely.
+                    if len(self._rem_buf) < count:
+                        self._rem_buf = np.empty(
+                            max(count, 64), dtype=np.float64
+                        )
+                    self._rem_buf[:count] = staged[0]
+                    rem_synced = True
+                else:
+                    self._thr_buf[:count] = [
+                        flow._finish_threshold for flow in flows
+                    ]
                 self._active_buf[:count] = 1
                 # Reuse one grown-geometric buffer for the group-slot vector
                 # (it is all zeros or all -1 on this path — a task's batch is
@@ -402,9 +510,11 @@ class FluidNetwork:
         if group is not None:
             self._flow_group.update((flow.flow_id, group) for flow in flows)
             self._group_left[group] = self._group_left.get(group, 0) + len(flows)
+        self._rem_synced = rem_synced
         self._rates_dirty = True
 
     def remove_flow(self, flow_id: str) -> Flow:
+        self._sync_flow_attrs()
         flow = self._flows.pop(flow_id)
         if self.solver != "scalar":
             self._forget_flow(flow)
@@ -419,6 +529,7 @@ class FluidNetwork:
                 self._row_flows[row].remove(flow)
                 self._count_list[row] -= 1
         self._csr_valid = False
+        self._rem_synced = False
 
     def _ensure_row_flows(self) -> None:
         """Rebuild the row->flows lists after running without their upkeep.
@@ -449,7 +560,16 @@ class FluidNetwork:
             self._group_left[group] = left
         else:
             del self._group_left[group]
-            self._drained_groups.add(group)
+            self._drained_groups.append(group)
+
+    def consume_drained_groups(self) -> List[object]:
+        """Groups whose last flow finished since the previous call, in drain
+        order.  The executor completes the owning comm tasks in this order —
+        the same order its per-flow ownership maps used to produce."""
+        drained = self._drained_groups
+        if drained:
+            self._drained_groups = []
+        return drained
 
     def mark_topology_changed(self) -> None:
         """Signal that link capacities changed (forces a rate recomputation)."""
@@ -460,6 +580,7 @@ class FluidNetwork:
     # ------------------------------------------------------------ rate solver
     def compute_rates(self) -> None:
         """Max–min fair allocation; updates every flow's ``rate``."""
+        self._sync_flow_attrs()
         if self.solver == "scalar":
             self._compute_rates_scalar()
         else:
@@ -670,6 +791,10 @@ class FluidNetwork:
 
     def _rebuild_csr(self) -> None:
         """Refill the persistent CSR buffers from the current flow set."""
+        # Deferred attributes must land before the layout shifts: the
+        # mirror buffers are positional against the old _csr_flows.
+        self._sync_flow_attrs()
+        self._rem_synced = False  # positions shift under compaction
         flows = list(self._flows.values())
         path_rows = self._path_rows
         flow_ptr = [0]
@@ -792,6 +917,7 @@ class FluidNetwork:
     # ------------------------------------------------------------ progression
     def time_to_next_completion(self) -> Optional[float]:
         """Time until the first active flow finishes, or ``None`` if no flows."""
+        self._sync_flow_attrs()
         if self._rates_dirty:
             self.compute_rates()
         best: Optional[float] = None
@@ -810,8 +936,10 @@ class FluidNetwork:
         """Advance all flows by ``dt`` seconds; return the flows that finished."""
         if dt < 0:
             raise ValueError("dt must be non-negative")
+        self._sync_flow_attrs()
         if self._rates_dirty:
             self.compute_rates()
+        self._rem_synced = False
         finished: List[Flow] = []
         scalar = self.solver == "scalar"
         for flow in list(self._flows.values()):
@@ -877,6 +1005,12 @@ class FlowAdvanceOutcome:
             ``"group"`` (a flow group drained — its owner needs Python),
             ``"stall"`` (flows exist but none can progress),
             ``"steps"`` (``max_steps`` exhausted), or ``"idle"`` (no flows).
+        solve_rounds: Water-filling rounds the native kernel executed for
+            this network (0 on the Python paths — a solver-cost counter, not
+            part of the simulation result).
+        rounds_replayed: Rounds the incremental mode inherited from the
+            carried freeze record instead of re-executing (0 unless
+            ``incremental_enabled()`` and the native kernel ran).
     """
 
     now: float
@@ -884,6 +1018,8 @@ class FlowAdvanceOutcome:
     next_flow: Optional[float]
     steps: int
     reason: str
+    solve_rounds: int = 0
+    rounds_replayed: int = 0
 
 
 #: waterfill_batch stop codes, in C enum order (WF_STOP_*).
@@ -939,11 +1075,11 @@ def _advance_python(request: FlowAdvanceRequest) -> FlowAdvanceOutcome:
             return FlowAdvanceOutcome(now, finished, at, steps, "budget")
         if steps >= request.max_steps:
             return FlowAdvanceOutcome(now, finished, None, steps, "steps")
-        network._drained_groups.clear()
+        drained_before = len(network._drained_groups)
         finished.extend(network.advance(dt))
         now = at
         steps += 1
-        if network._drained_groups:
+        if len(network._drained_groups) > drained_before:
             return FlowAdvanceOutcome(now, finished, None, steps, "group")
 
 
@@ -960,10 +1096,11 @@ class _BatchScratch:
     consumes the buffers before returning.
     """
 
-    __slots__ = ("_arrays",)
+    __slots__ = ("_arrays", "_ptrs")
 
     def __init__(self) -> None:
         self._arrays: Dict[str, np.ndarray] = {}
+        self._ptrs: Dict[str, object] = {}
 
     def get(self, name: str, size: int, dtype) -> np.ndarray:
         """A length-``size`` contiguous view of the named buffer (uninitialised)."""
@@ -974,7 +1111,23 @@ class _BatchScratch:
                 capacity = max(capacity, 2 * len(array))
             array = np.empty(capacity, dtype=dtype)
             self._arrays[name] = array
+            self._ptrs.pop(name, None)  # pointed into the replaced array
         return array[:size]
+
+    def ptr(self, ffi, name: str, ctype: str):
+        """Cached cffi pointer to the named buffer's base.
+
+        Buffers are stable between reallocations, so the (measurably
+        non-free) ``ffi.from_buffer``/``ffi.cast`` pair runs once per growth
+        instead of once per kernel call; :meth:`get` drops the cached
+        pointer whenever it replaces the backing array.  The cdata keeps the
+        array alive, never the reverse.
+        """
+        pointer = self._ptrs.get(name)
+        if pointer is None:
+            pointer = ffi.cast(ctype, ffi.from_buffer(self._arrays[name]))
+            self._ptrs[name] = pointer
+        return pointer
 
 
 _BATCH_SCRATCH = _BatchScratch()
@@ -997,7 +1150,7 @@ def _advance_native_batch(
     block_rows[0] = 0
     # First pass: bring every block's CSR up to date and size the batch.
     blocks: List[Tuple[FluidNetwork, List[Flow], int, int]] = []
-    flow_base = row_base = nnz_base = 0
+    flow_base = row_base = nnz_base = group_total = 0
     for index, request in enumerate(requests):
         network = request.network
         if network._capacity_dirty:
@@ -1014,6 +1167,7 @@ def _advance_native_batch(
         flow_base += num_flows
         row_base += len(network._link_ids)
         nnz_base += nnz
+        group_total += len(network._grp_keys)
         block_flows[index + 1] = flow_base
         block_rows[index + 1] = row_base
 
@@ -1031,7 +1185,8 @@ def _advance_native_batch(
     # Second pass: stack each block into the scratch slices, offsetting row
     # and nnz indices into batch coordinates.
     flow_ptr[0] = 0
-    group_left: List[int] = []
+    group_left = scratch.get("group_left", max(group_total, 1), np.int32)
+    group_fill = 0
     block_flow_lists: List[List[Flow]] = []
     flow_base = row_base = nnz_base = 0
     for network, flows, num_flows, nnz in blocks:
@@ -1047,29 +1202,36 @@ def _advance_native_batch(
             out=flow_rows[nnz_base : nnz_base + nnz],
         )
         caps[row_base : row_base + len(network._link_ids)] = network._cap_arr
-        remaining[flow_slice] = np.fromiter(
-            (flow.remaining_bytes for flow in flows), np.float64, num_flows
-        )
+        if network._rem_synced:
+            # The previous batch call wrote this block's post-advance
+            # remaining bytes back into the network's buffer and nothing
+            # mutated flows since: an array copy replaces the per-flow
+            # attribute gather.
+            remaining[flow_slice] = network._rem_buf[:num_flows]
+        else:
+            remaining[flow_slice] = np.fromiter(
+                (flow.remaining_bytes for flow in flows), np.float64, num_flows
+            )
         threshold[flow_slice] = network._thr_buf[:num_flows]
         active[flow_slice] = network._active_buf[:num_flows]
         grp_buf = network._grp_buf
         group_view = group_of[flow_slice]
         group_view[:] = grp_buf
         if network._grp_keys:
-            slot_base = len(group_left)
+            slot_base = group_fill
             network_left = network._group_left
             # A key can be gone from _group_left once its group drained; its
             # flows are all inactive then, so the kernel never consults the
             # placeholder count.
-            group_left.extend(network_left.get(key, 0) for key in network._grp_keys)
+            for key in network._grp_keys:
+                group_left[group_fill] = network_left.get(key, 0)
+                group_fill += 1
             if slot_base:
                 np.add(group_view, slot_base, out=group_view, where=grp_buf >= 0)
         block_flow_lists.append(flows)
         flow_base += num_flows
         row_base += len(network._link_ids)
         nnz_base += nnz
-
-    group_left_arr = np.asarray(group_left or [0], dtype=np.int32)
     now_arr = scratch.get("now", num_blocks, np.float64)
     budget = scratch.get("budget", num_blocks, np.float64)
     max_steps = scratch.get("max_steps", num_blocks, np.int32)
@@ -1087,32 +1249,39 @@ def _advance_native_batch(
     steps[:] = 0
     stop_reason = scratch.get("stop_reason", num_blocks, np.int32)
     stop_reason[:] = 0
+    solve_rounds = scratch.get("solve_rounds", num_blocks, np.int32)
+    rounds_replayed = scratch.get("rounds_replayed", num_blocks, np.int32)
 
-    def iptr(array: np.ndarray):
-        return ffi.cast("const int *", ffi.from_buffer(array))
-
+    if incremental_enabled():
+        mode = 2
+    elif warm_start_enabled():
+        mode = 1
+    else:
+        mode = 0
     status = lib.waterfill_batch(
         num_blocks,
-        iptr(block_flows),
-        iptr(block_rows),
-        iptr(flow_ptr),
-        iptr(flow_rows),
-        ffi.cast("const double *", ffi.from_buffer(caps)),
-        ffi.cast("double *", ffi.from_buffer(remaining)),
-        ffi.cast("const double *", ffi.from_buffer(threshold)),
-        iptr(group_of),
-        ffi.cast("int *", ffi.from_buffer(group_left_arr)),
-        ffi.cast("double *", ffi.from_buffer(now_arr)),
-        ffi.cast("const double *", ffi.from_buffer(budget)),
-        ffi.cast("double *", ffi.from_buffer(rates)),
-        ffi.cast("unsigned char *", ffi.from_buffer(active)),
-        ffi.cast("int *", ffi.from_buffer(finished)),
-        ffi.cast("int *", ffi.from_buffer(finished_count)),
-        ffi.cast("double *", ffi.from_buffer(next_flow)),
-        ffi.cast("int *", ffi.from_buffer(steps)),
-        ffi.cast("int *", ffi.from_buffer(stop_reason)),
-        iptr(max_steps),
-        1 if warm_start_enabled() else 0,
+        scratch.ptr(ffi, "block_flows", "const int *"),
+        scratch.ptr(ffi, "block_rows", "const int *"),
+        scratch.ptr(ffi, "flow_ptr", "const int *"),
+        scratch.ptr(ffi, "flow_rows", "const int *"),
+        scratch.ptr(ffi, "caps", "const double *"),
+        scratch.ptr(ffi, "remaining", "double *"),
+        scratch.ptr(ffi, "threshold", "const double *"),
+        scratch.ptr(ffi, "group_of", "const int *"),
+        scratch.ptr(ffi, "group_left", "int *"),
+        scratch.ptr(ffi, "now", "double *"),
+        scratch.ptr(ffi, "budget", "const double *"),
+        scratch.ptr(ffi, "rates", "double *"),
+        scratch.ptr(ffi, "active", "unsigned char *"),
+        scratch.ptr(ffi, "finished", "int *"),
+        scratch.ptr(ffi, "finished_count", "int *"),
+        scratch.ptr(ffi, "next_flow", "double *"),
+        scratch.ptr(ffi, "steps", "int *"),
+        scratch.ptr(ffi, "stop_reason", "int *"),
+        scratch.ptr(ffi, "max_steps", "const int *"),
+        mode,
+        scratch.ptr(ffi, "solve_rounds", "int *"),
+        scratch.ptr(ffi, "rounds_replayed", "int *"),
     )
     if status != 0:
         warnings.warn(
@@ -1129,11 +1298,18 @@ def _advance_native_batch(
         flows = block_flow_lists[index]
         base = int(block_flows[index])
         count = len(flows)
-        rate_list = rates[base : base + count].tolist()
-        remaining_list = remaining[base : base + count].tolist()
-        for flow, rate, left in zip(flows, rate_list, remaining_list):
-            flow.rate = rate
-            flow.remaining_bytes = left
+        # Surviving flows' attributes are deferred: the post-advance rates
+        # and remaining bytes land in the network's mirror buffers and are
+        # written back lazily by _sync_flow_attrs() on the next Python-path
+        # access (never, for the common fully-drained folded block).
+        if len(network._rem_buf) < count:
+            network._rem_buf = np.empty(max(count, 64), dtype=np.float64)
+        if len(network._rate_buf) < count:
+            network._rate_buf = np.empty(max(count, 64), dtype=np.float64)
+        network._rem_buf[:count] = remaining[base : base + count]
+        network._rate_buf[:count] = rates[base : base + count]
+        network._rem_synced = True
+        network._attrs_synced = False
         done: List[Flow] = []
         retired = int(finished_count[index])
         if retired:
@@ -1147,8 +1323,16 @@ def _advance_native_batch(
             path_rows = network._path_rows
             flow_group = network._flow_group
             group_left_map = network._group_left
-            for slot in range(retired):
-                flow = flows[int(finished[base + slot]) - base]
+            rate_list = rates[base : base + count].tolist()
+            rem_list = remaining[base : base + count].tolist()
+            for fi in finished[base : base + retired].tolist():
+                slot_index = fi - base
+                flow = flows[slot_index]
+                # Retired flows leave _csr_flows' active set, so the lazy
+                # sync will never visit them: stamp their final attributes
+                # here (same values the eager writeback used to assign).
+                flow.rate = rate_list[slot_index]
+                flow.remaining_bytes = rem_list[slot_index]
                 done.append(flow)
                 flow_id = flow.flow_id
                 del network_flows[flow_id]
@@ -1162,7 +1346,7 @@ def _advance_native_batch(
                         group_left_map[group] = left
                     else:
                         del group_left_map[group]
-                        network._drained_groups.add(group)
+                        network._drained_groups.append(group)
         reason = _STOP_REASONS[int(stop_reason[index])]
         if reason == "stall" and not network._flows:
             reason = "idle"
@@ -1178,6 +1362,8 @@ def _advance_native_batch(
                 next_flow=None if first_unconsumed == np.inf else first_unconsumed,
                 steps=int(steps[index]),
                 reason=reason,
+                solve_rounds=int(solve_rounds[index]),
+                rounds_replayed=int(rounds_replayed[index]),
             )
         )
     return outcomes

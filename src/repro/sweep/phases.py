@@ -85,7 +85,8 @@ def format_profile(results: Sequence[object]) -> List[str]:
     """Human-readable ``--profile`` report: one line per config + summary."""
     lines = [
         f"{'hash':24s}  {'setup_s':>9s} {'solve_s':>9s} {'advance_s':>9s} "
-        f"{'store_s':>9s}  {'template':>8s}"
+        f"{'store_s':>9s}  {'events':>7s} {'rounds':>7s} {'replay':>7s}"
+        f"  {'template':>8s}"
     ]
     for result in results:
         if getattr(result, "from_cache", False):
@@ -94,17 +95,31 @@ def format_profile(results: Sequence[object]) -> List[str]:
         lines.append(
             f"{result.config_hash:24s}  {result.setup_s:9.4f} "
             f"{result.solve_s:9.4f} {result.advance_s:9.4f} "
-            f"{result.store_s:9.4f}  {getattr(result, 'template_source', 'none'):>8s}"
+            f"{result.store_s:9.4f}  "
+            f"{getattr(result, 'events', 0):7d} "
+            f"{getattr(result, 'solve_rounds', 0):7d} "
+            f"{getattr(result, 'rounds_replayed', 0):7d}"
+            f"  {getattr(result, 'template_source', 'none'):>8s}"
         )
     summary = summarize_phases(results)
     sources = summary["template_sources"]
     source_text = " ".join(
         f"{name}={count}" for name, count in sorted(sources.items())
     )
+    fresh = [
+        result for result in results if not getattr(result, "from_cache", False)
+    ]
     lines.append(
         f"phase means over {summary['num_fresh']} fresh config(s): "
         f"setup={summary['mean_setup_s']:.4f}s solve={summary['mean_solve_s']:.4f}s "
         f"advance={summary['mean_advance_s']:.4f}s store={summary['mean_store_s']:.4f}s"
+    )
+    executed = sum(getattr(result, "solve_rounds", 0) for result in fresh)
+    replayed = sum(getattr(result, "rounds_replayed", 0) for result in fresh)
+    lines.append(
+        f"waterfill rounds over {summary['num_fresh']} fresh config(s): "
+        f"executed={executed} replayed={replayed} "
+        f"events={sum(getattr(result, 'events', 0) for result in fresh)}"
     )
     lines.append(f"template sources: {source_text}")
     return lines

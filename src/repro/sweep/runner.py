@@ -93,6 +93,15 @@ class SweepResult:
     #: "disk"), or "none" for paths that run from scratch.
     template_source: str = "none"
     from_cache: bool = False
+    #: Executor observability (DESIGN.md §10): events consumed by the
+    #: event loop; water-filling rounds executed vs. inherited from the
+    #: incremental kernel's freeze record.  ``events`` is path-independent
+    #: (folded and unfolded runs consume identical event counts); the round
+    #: counters are mode-dependent observability and stay 0 outside the
+    #: folded native-batch path.
+    events: int = 0
+    solve_rounds: int = 0
+    rounds_replayed: int = 0
 
     @classmethod
     def from_iteration(
@@ -119,6 +128,9 @@ class SweepResult:
             tokens_per_second=result.tokens_per_second,
             wall_time_s=wall_time_s,
             from_cache=False,
+            events=result.events,
+            solve_rounds=result.solve_rounds,
+            rounds_replayed=result.rounds_replayed,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -147,6 +159,9 @@ METRIC_FIELDS = (
     "tokens_per_iteration",
     "tokens_per_second",
     "wall_time_s",
+    "events",
+    "solve_rounds",
+    "rounds_replayed",
 ) + PHASE_FIELDS
 
 
@@ -161,6 +176,8 @@ def _result_from_metrics(
     """Rebuild a :class:`SweepResult` from a transported metric vector."""
     values = dict(zip(METRIC_FIELDS, vector))
     values["num_micro_batches"] = int(values["num_micro_batches"])
+    for name in ("events", "solve_rounds", "rounds_replayed"):
+        values[name] = int(values[name])
     return SweepResult(
         config=config.to_dict(),
         config_hash=config_hash,

@@ -70,6 +70,7 @@ _ALLOCATION_LIMIT = 512
 _PROFILE_LIMIT = 16
 _HINT_LIMIT = 16
 _RECORD_LIMIT = 16
+_ADMISSION_LIMIT = 512
 
 
 def structural_hash(key: Sequence[object]) -> str:
@@ -135,6 +136,7 @@ class StructuralTemplate:
         self._allocations: Dict[str, CircuitAllocation] = {}
         self._hints: Dict[str, np.ndarray] = {}
         self._records: Dict[tuple, object] = {}
+        self._admissions: Dict[tuple, object] = {}
 
     # ---------------------------------------------------------------- layout
     def layout(self, model, cluster) -> Tuple[object, object, List[int]]:
@@ -240,6 +242,24 @@ class StructuralTemplate:
         if len(self._records) >= _RECORD_LIMIT:
             self._records.clear()
         self._records[key] = record
+
+    # ------------------------------------------------------------- admissions
+    def admission(self, key: tuple):
+        """A staged :class:`~repro.sim.dag.AdmissionPlan` (DESIGN.md §10).
+
+        The key carries every stamped axis the plan depends on — task id,
+        seed, micro-batch size, both collective efficiencies and the set of
+        circuit-holding pairs — so two configs share a plan exactly when the
+        executor's from-scratch admission loop would produce the same flows.
+        In-memory only: plans rebuild in microseconds, so persisting them
+        would bloat the store for no win.
+        """
+        return self._admissions.get(key)
+
+    def store_admission(self, key: tuple, plan) -> None:
+        if len(self._admissions) >= _ADMISSION_LIMIT:
+            self._admissions.clear()
+        self._admissions[key] = plan
 
     # ---------------------------------------------------------- serialisation
     def to_payload(self) -> Dict[str, object]:
@@ -436,6 +456,23 @@ register_cache(
     doc="TopoOpt profiled-average demand hints (read-only arrays).",
     clear=_hints_clear,
     size=_hints_size,
+)
+_admissions_clear, _admissions_size = _memo_family("_admissions")
+register_cache(
+    "repro.sweep.template.StructuralTemplate._admissions",
+    axes=(
+        "task_id",
+        "seed",
+        "micro_batch_size",
+        "ocs_collective_efficiency",
+        "eps_collective_efficiency",
+        "circuit_pairs",
+    ),
+    cap=_ADMISSION_LIMIT,
+    doc="Staged flow-admission plans (pre-filtered flow tuples with resolved "
+    "route keys and flow ids) stamped into COMM tasks at DAG-build time.",
+    clear=_admissions_clear,
+    size=_admissions_size,
 )
 _records_clear, _records_size = _memo_family("_records")
 register_cache(

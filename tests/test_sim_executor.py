@@ -118,6 +118,53 @@ class TestReconfiguration:
         assert result.makespan == pytest.approx(2.0, rel=1e-6)
 
 
+class TestEventAccounting:
+    """run() and iter_run() must consume identical event budgets.
+
+    Folded execution delegates flow events to the batched driver, which
+    charges them against ``max_events - events`` and reports steps consumed;
+    the ``events`` counter on the result pins the two accountings to each
+    other, and the budget must trip at exactly the same threshold on both
+    paths.
+    """
+
+    @staticmethod
+    def _build():
+        graph = TaskGraph()
+        graph.add_compute("warmup", 0.1)
+        graph.add_comm(
+            "xfer",
+            [FlowSpec(0, 1, 1e9), FlowSpec(0, 1, 5e8), FlowSpec(1, 0, 2e8)],
+            deps=["warmup"],
+        )
+        graph.add_compute("cooldown", 0.2, deps=["xfer"])
+        graph.add_comm("tail", [FlowSpec(1, 0, 1e8)], deps=["cooldown"])
+        return Executor(graph, make_region())
+
+    def test_run_and_folded_events_identical(self):
+        reference = self._build().run()
+        folded = self._build().run_folded()
+        assert reference.events == folded.events > 0
+        assert folded.makespan == reference.makespan
+        assert folded.comm_bytes == reference.comm_bytes
+
+    def test_max_events_budget_trips_at_same_threshold(self):
+        events = self._build().run().events
+        # A budget of exactly `events` succeeds on both paths...
+        assert self._build().run(max_events=events).events == events
+        assert self._build().run_folded(max_events=events).events == events
+        # ...and one fewer raises on both.
+        with pytest.raises(RuntimeError, match="event budget"):
+            self._build().run(max_events=events - 1)
+        with pytest.raises(RuntimeError, match="event budget"):
+            self._build().run_folded(max_events=events - 1)
+
+    def test_counters_default_zero_on_unfolded_run(self):
+        result = self._build().run()
+        assert result.solve_rounds == 0
+        assert result.rounds_replayed == 0
+
+
 class TestResultBookkeeping:
     def test_all_tasks_have_start_and_finish(self):
         graph = TaskGraph()

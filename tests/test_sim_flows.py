@@ -356,6 +356,135 @@ class TestWarmStartBoundary:
         assert not warm_start_enabled()
 
 
+class TestIncrementalReplay:
+    """The freeze-level replay mode must retrace the warm-start solve exactly.
+
+    Between consecutive events of a block only flow retirements change the
+    water-filling inputs, and a retired flow was unfrozen during every round
+    before its freeze level, so rounds below the minimum retired level are
+    bit-identical and the kernel replays them from the recorded freeze order
+    instead of re-running their argmin scans (DESIGN.md §10).  These tests
+    pin the mode against the warm-start and cold paths and the Python
+    references at the 511/512/513 heap->dense boundary, and check that the
+    replay actually engages.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _reset_modes(self):
+        from repro.sim.flows import set_incremental, set_warm_start
+
+        yield
+        set_incremental(None)
+        set_warm_start(None)
+
+    @staticmethod
+    def _native_or_skip():
+        from repro.sim._native import native_available
+
+        if not native_available():
+            pytest.skip("native kernel unavailable")
+
+    @staticmethod
+    def _drain(net):
+        outcome = net.advance_through(0.0)
+        return (
+            outcome.now,
+            [flow.flow_id for flow in outcome.finished],
+            outcome.steps,
+            outcome.reason,
+            outcome.solve_rounds,
+            outcome.rounds_replayed,
+        )
+
+    @pytest.mark.parametrize("num_flows", [511, 512, 513])
+    def test_incremental_matches_warm_and_cold_bit_exactly(self, num_flows):
+        from repro.sim.flows import set_incremental, set_warm_start
+
+        self._native_or_skip()
+        build = TestDenseRoundBoundary.build_network
+        set_incremental(False)
+        set_warm_start(False)
+        cold = self._drain(build("native", num_flows))
+        set_warm_start(True)
+        warm = self._drain(build("native", num_flows))
+        set_incremental(True)
+        inc = self._drain(build("native", num_flows))
+        # now / finish order / steps / reason all bit-exact across modes.
+        assert inc[:4] == warm[:4] == cold[:4]
+        assert len(cold[1]) == num_flows  # the whole block drained
+        # The replay engaged and saved argmin scans: rounds inherited from
+        # the freeze record are > 0 and executed rounds strictly fewer than
+        # the warm-start path ran.
+        assert cold[5] == warm[5] == 0
+        assert inc[5] > 0
+        assert inc[4] < warm[4]
+
+    @pytest.mark.parametrize("num_flows", [511, 513])
+    def test_incremental_agrees_with_python_reference(self, num_flows):
+        from repro.sim.flows import set_incremental
+
+        self._native_or_skip()
+        build = TestDenseRoundBoundary.build_network
+        ref = self._drain(build("vectorized", num_flows))
+        set_incremental(True)
+        inc = self._drain(build("native", num_flows))
+        assert inc[0] == pytest.approx(ref[0], rel=1e-9)
+        assert inc[1] == ref[1]
+        assert inc[2:4] == ref[2:4]
+
+    def test_incremental_survives_midstream_admission(self):
+        """Admission between batched calls rebuilds the CSR; the freeze
+        record is per-call state, so the second call must restart cold and
+        still match the Python reference."""
+        from repro.sim.flows import (
+            FlowAdvanceRequest,
+            service_advance_requests,
+            set_incremental,
+        )
+
+        self._native_or_skip()
+        set_incremental(True)
+        net = TestDenseRoundBoundary.build_network("native", 64)
+        reference = TestDenseRoundBoundary.build_network("vectorized", 64)
+        traces = []
+        for candidate in (net, reference):
+            trace = []
+            # First batched span stops mid-block on the step budget...
+            outcome = service_advance_requests(
+                [FlowAdvanceRequest(candidate, now=0.0, budget=20)]
+            )[0]
+            trace.append((outcome.now, [f.flow_id for f in outcome.finished],
+                          outcome.steps, outcome.reason))
+            # ...then an admission rebuilds the CSR mid-stream...
+            candidate.add_flow(Flow("late", 5e7, ["l0", "l1"]))
+            # ...and the rest drains through a second batched span.
+            outcome = service_advance_requests(
+                [FlowAdvanceRequest(candidate, now=outcome.now, budget=None)]
+            )[0]
+            trace.append((outcome.now, [f.flow_id for f in outcome.finished],
+                          outcome.steps, outcome.reason))
+            traces.append(trace)
+        native_trace, ref_trace = traces
+        for (now_n, done_n, steps_n, why_n), (now_r, done_r, steps_r, why_r) in zip(
+            native_trace, ref_trace
+        ):
+            assert now_n == pytest.approx(now_r, rel=1e-9)
+            assert done_n == done_r
+            assert (steps_n, why_n) == (steps_r, why_r)
+        assert "late" in native_trace[1][1]
+
+    def test_flag_plumbing(self, monkeypatch):
+        from repro.sim.flows import incremental_enabled, set_incremental
+
+        assert incremental_enabled()  # default on
+        monkeypatch.setenv("REPRO_WATERFILL_INCREMENTAL", "0")
+        assert not incremental_enabled()
+        set_incremental(True)  # explicit override beats the environment
+        assert incremental_enabled()
+        set_incremental(None)
+        assert not incremental_enabled()
+
+
 class TestCompileRace:
     """Two processes (here: threads, same flock semantics) entering
     _compile() concurrently must produce one build, not clobber each other:

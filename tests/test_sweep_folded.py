@@ -43,6 +43,11 @@ IDENTICAL_FIELDS = (
     "comm_bytes",
     "compute_time_s",
     "tokens_per_second",
+    # Event counts are part of the equivalence contract: run() and
+    # iter_run() must consume identical event budgets (the round counters
+    # are deliberately absent — they are mode-dependent observability,
+    # like the phase timings).
+    "events",
 )
 
 
@@ -88,6 +93,55 @@ class TestFoldedEquivalence:
     def test_invalid_fold_width_rejected(self):
         with pytest.raises(ValueError):
             FoldedSweepRunner(MIXED_SPEC, fold_width=0)
+
+
+class TestIncrementalEquivalence:
+    """The incremental freeze-level replay kernel is a pure performance
+    transformation: folded results on the mixed failure grid are
+    bit-identical with the mode on, off (warm-start fallback), and across
+    fold widths, and the replay actually engages (rounds_replayed > 0)."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_incremental(self):
+        from repro.sim.flows import set_incremental
+
+        yield
+        set_incremental(None)
+
+    @pytest.fixture(scope="class")
+    def unfolded_results(self):
+        return SweepRunner(MIXED_SPEC, workers=0).run()
+
+    def test_incremental_off_matches_on_mixed_grid(self, unfolded_results):
+        from repro.sim.flows import set_incremental
+
+        set_incremental(False)
+        folded_off = FoldedSweepRunner(MIXED_SPEC).run()
+        set_incremental(True)
+        folded_on = FoldedSweepRunner(MIXED_SPEC).run()
+        assert_bit_identical(unfolded_results, folded_off)
+        assert_bit_identical(unfolded_results, folded_on)
+        # The fallback path really did avoid the replay machinery, and the
+        # incremental path really did inherit rounds from the freeze record.
+        assert all(r.rounds_replayed == 0 for r in folded_off)
+        assert sum(r.rounds_replayed for r in folded_on) > 0
+
+    def test_fold_width_variance_with_incremental(self, unfolded_results):
+        from repro.sim.flows import set_incremental
+
+        set_incremental(True)
+        for width in (1, 3):
+            folded = FoldedSweepRunner(MIXED_SPEC, fold_width=width).run()
+            assert_bit_identical(unfolded_results, folded)
+
+    def test_env_flag_disables_incremental(self, monkeypatch):
+        from repro.sim.flows import incremental_enabled
+
+        assert incremental_enabled()  # default on
+        monkeypatch.setenv("REPRO_WATERFILL_INCREMENTAL", "0")
+        assert not incremental_enabled()
+        folded = FoldedSweepRunner(MIXED_SPEC).run()
+        assert all(r.rounds_replayed == 0 for r in folded)
 
 
 class TestFoldedFallback:

@@ -59,6 +59,7 @@ IDENTICAL_FIELDS = (
     "comm_bytes",
     "compute_time_s",
     "tokens_per_second",
+    "events",
 )
 
 
@@ -111,6 +112,54 @@ class TestTemplatedDifferential:
         assert_bit_identical(reference, results)
         # Every result materialised through a template in some worker.
         assert {r.template_source for r in results} <= {"built", "memory", "disk"}
+
+    def test_staged_admission_engages_and_is_shared(self):
+        """Templated DAG builds stamp AdmissionPlans onto every COMM task,
+        the plans are shared across configs of the same template (identity,
+        not equality — that is the amortisation), and the staged-admission
+        executor path produces the same IterationResult as the scratch
+        spec loop."""
+        from repro.core.runtime import TrainingSimulator
+        from repro.sim.dag import TaskKind
+        from repro.sweep.runner import _materialise
+        from repro.sweep.template import get_template
+
+        config = SweepConfig(fabric="MixNet", model="Mixtral-8x7B",
+                             num_servers=16)
+        model, cluster, fabric, options = _materialise(config, None)
+        clear_template_cache()
+        template, _ = get_template(config.structural_key())
+
+        def comm_plans(simulator):
+            prepared = simulator._prepare_iteration(None, None)
+            return {
+                task_id: task.admission
+                for task_id, task in prepared.graph.tasks.items()
+                if task.kind is TaskKind.COMM
+            }
+
+        first = comm_plans(
+            TrainingSimulator(model, cluster, fabric, options, template=template)
+        )
+        assert first and all(plan is not None for plan in first.values())
+        # A second config stamped from the same template reuses the exact
+        # plan objects via the _admissions memo.
+        second = comm_plans(
+            TrainingSimulator(model, cluster, fabric, options, template=template)
+        )
+        assert {k: id(v) for k, v in first.items()} == {
+            k: id(v) for k, v in second.items()
+        }
+        # Scratch (no template) attaches nothing and still agrees exactly.
+        scratch = TrainingSimulator(model, cluster, fabric, options)
+        assert all(p is None for p in comm_plans(scratch).values())
+        templated_result = TrainingSimulator(
+            model, cluster, fabric, options, template=template
+        ).simulate_iteration()
+        scratch_result = scratch.simulate_iteration()
+        assert templated_result.iteration_time_s == scratch_result.iteration_time_s
+        assert templated_result.comm_bytes == scratch_result.comm_bytes
+        assert templated_result.events == scratch_result.events
 
     def test_topoopt_demand_hints_fold_exactly(self, tmp_path):
         """TopoOpt's profiled-demand hint is the most template-sensitive
